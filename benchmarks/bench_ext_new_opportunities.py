@@ -1,0 +1,68 @@
+"""Extension: §6.2's "new opportunities", quantified.
+
+The paper closes its fault-tolerance discussion with three questions;
+each gets an experiment here:
+
+* *"can we design techniques targeting those vulnerable features?"* —
+  AN-coded arithmetic detects ALU SDCs at decode time, where CRC
+  (computed after the corruption) detects none;
+* *"considering bitflips have location preference, can we design
+  better coding techniques?"* — a 16-bit location-aware guard over the
+  flip-prone fraction band detects most study-model storage flips,
+  while the same budget aimed by the IID model would be misplaced;
+* injector design (§8): the IID irradiation model overestimates
+  application-visible damage by orders of magnitude relative to the
+  production flip model.
+"""
+
+from repro.analysis import render_table
+from repro.detectors import an_code_experiment, guard_experiment
+from repro.faults import IIDBitflip, compare_failure_models
+
+from conftest import run_once
+
+
+def test_new_opportunities(benchmark):
+    def measure():
+        return {
+            "an": an_code_experiment(trials=800),
+            "guard_study": guard_experiment(trials=1500),
+            "guard_iid": guard_experiment(
+                trials=1500, bitflip_model=IIDBitflip()
+            ),
+            "campaign": compare_failure_models(runs=800),
+        }
+
+    results = run_once(benchmark, measure)
+    an = results["an"]
+    guard_study = results["guard_study"]
+    guard_iid = results["guard_iid"]
+    study_campaign, iid_campaign = results["campaign"]
+
+    print()
+    print(
+        render_table(
+            ("experiment", "metric", "value"),
+            (
+                ("AN-coded ALU", "SDC detection at decode",
+                 f"{an.an_detection_rate:.1%}"),
+                ("AN-coded ALU", "post-hoc CRC detection",
+                 f"{an.crc_detection_rate:.1%}"),
+                ("16-bit location-aware guard", "study-model flips caught",
+                 f"{guard_study.detection_rate:.1%}"),
+                ("16-bit location-aware guard", "IID-model flips caught",
+                 f"{guard_iid.detection_rate:.1%}"),
+                ("injection campaign", "median app error (study model)",
+                 f"{study_campaign.median_error():.2e}"),
+                ("injection campaign", "median app error (IID model)",
+                 f"{iid_campaign.median_error():.2e}"),
+            ),
+            title="Extension — §6.2 new opportunities / §8 injector design",
+        )
+    )
+
+    assert an.an_detection_rate > 0.99
+    assert an.crc_detection_rate == 0.0
+    assert guard_study.detection_rate > 0.9
+    assert guard_study.detection_rate > guard_iid.detection_rate + 0.1
+    assert iid_campaign.median_error() > 10.0 * study_campaign.median_error()

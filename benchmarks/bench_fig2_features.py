@@ -1,0 +1,47 @@
+"""Figure 2: proportion of faulty processors per defective feature.
+
+Paper: ALU ≈ 0.30, VecUnit ≈ 0.20, FPU ≈ 0.40, Cache ≈ 0.12,
+TrxMem ≈ 0.25 (read off the bar chart; proportions sum past 1 because
+one defect can span features).
+"""
+
+from repro.analysis import render_series
+from repro.cpu import Feature
+from repro.fleet import stats
+
+from conftest import run_once
+
+PAPER_APPROX = {
+    Feature.ALU: 0.30,
+    Feature.VECTOR: 0.20,
+    Feature.FPU: 0.40,
+    Feature.CACHE: 0.12,
+    Feature.TRX_MEM: 0.25,
+}
+
+
+def test_fig2_feature_proportions(benchmark, fleet, campaign):
+    measured = run_once(
+        benchmark, lambda: stats.feature_proportions(campaign, fleet)
+    )
+    print()
+    print(
+        render_series(
+            [
+                (f"{feature} (paper ~{PAPER_APPROX[feature]:.2f})", value)
+                for feature, value in measured.items()
+            ],
+            title="Figure 2 — proportion of faulty CPUs per feature",
+        )
+    )
+    # All five vulnerable features appear.
+    assert all(value > 0 for value in measured.values())
+    # Computation features dominate consistency features in counts
+    # (19 vs 8 of 27 in the study).
+    computation = (
+        measured[Feature.ALU] + measured[Feature.VECTOR] + measured[Feature.FPU]
+    )
+    consistency = measured[Feature.CACHE] + measured[Feature.TRX_MEM]
+    assert computation > consistency
+    # Proportions may exceed 1 in total (shared defects).
+    assert sum(measured.values()) > 0.9

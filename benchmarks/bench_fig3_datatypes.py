@@ -1,0 +1,39 @@
+"""Figure 3: proportion of faulty processors per affected datatype.
+
+Paper: every tested datatype is affected; float32/float64 involve the
+most faulty processors (~0.5 each), i16/bit at the low end.
+"""
+
+from repro.analysis import render_series
+from repro.cpu import DataType
+from repro.fleet import stats
+
+from conftest import run_once
+
+
+def test_fig3_datatype_proportions(benchmark, fleet, campaign):
+    measured = run_once(
+        benchmark, lambda: stats.datatype_proportions(campaign, fleet)
+    )
+    print()
+    print(
+        render_series(
+            sorted(
+                ((str(k), v) for k, v in measured.items()),
+                key=lambda pair: -pair[1],
+            ),
+            title="Figure 3 — proportion of faulty CPUs per affected datatype",
+        )
+    )
+    floats = max(
+        measured.get(DataType.FLOAT32, 0.0), measured.get(DataType.FLOAT64, 0.0)
+    )
+    # Observation 6: floating-point datatypes involve the most CPUs.
+    non_float = [
+        value
+        for dtype, value in measured.items()
+        if not dtype.is_float
+    ]
+    assert floats >= max(non_float, default=0.0) * 0.8
+    # Multiple datatypes affected overall.
+    assert len(measured) >= 6

@@ -1,0 +1,110 @@
+"""Figure 4: bitflips and precision losses of numerical data types.
+
+Paper claims reproduced here:
+
+* (a)-(d): flips concentrate mid-representation, rarely in the most
+  significant bits; float flips land in the fraction field;
+* (e)-(h): precision-loss CDFs — all float64x losses < 0.002%; 99.9%
+  of float64 < 0.02%; 80.25% of float32 < 5%; 40.2% of int32 > 100%.
+"""
+
+import math
+
+from repro.analysis import (
+    bitflip_histogram,
+    precision_losses,
+    render_histogram,
+    render_table,
+    summarize_precision,
+)
+from repro.cpu import DataType
+
+from conftest import run_once
+
+DTYPES = (
+    DataType.INT32,
+    DataType.FLOAT32,
+    DataType.FLOAT64,
+    DataType.FLOAT64X,
+)
+
+
+def test_fig4_bitflips_and_precision(benchmark, catalog_corpus):
+    def measure():
+        histograms = {
+            dtype: bitflip_histogram(catalog_corpus.records, dtype)
+            for dtype in DTYPES
+        }
+        summaries = {
+            dtype: summarize_precision(catalog_corpus.records, dtype)
+            for dtype in DTYPES
+        }
+        return histograms, summaries
+
+    histograms, summaries = run_once(benchmark, measure)
+
+    print()
+    for dtype in DTYPES:
+        histogram = histograms[dtype]
+        if histogram.total_records == 0:
+            continue
+        zero_to_one, one_to_zero = histogram.proportions()
+        combined = [a + b for a, b in zip(zero_to_one, one_to_zero)]
+        # Bucket positions into 8 groups for a readable chart.
+        width = dtype.width
+        step = max(1, width // 8)
+        buckets = [
+            sum(combined[i : i + step]) for i in range(0, width, step)
+        ]
+        labels = [f"bits {i}-{min(i + step - 1, width - 1)}" for i in range(0, width, step)]
+        print(
+            render_histogram(
+                buckets, labels,
+                title=f"Figure 4 — bitflip positions, {dtype} "
+                f"({histogram.total_records} records)",
+            )
+        )
+        print()
+
+    rows = []
+    for dtype in DTYPES:
+        summary = summaries[dtype]
+        rows.append(
+            (
+                str(dtype),
+                summary.count,
+                f"{summary.below_0002pct:.4f}",
+                f"{summary.below_002pct:.4f}",
+                f"{summary.below_5pct:.4f}",
+                f"{summary.above_100pct:.4f}",
+            )
+        )
+    print(
+        render_table(
+            ("dtype", "n", "<0.002%", "<0.02%", "<5%", ">100%"),
+            rows,
+            title=(
+                "Figure 4(e)-(h) — precision-loss fractions "
+                "(paper: f64x <0.002% = 1.0; f64 <0.02% = 0.999; "
+                "f32 <5% = 0.8025; i32 >100% = 0.402)"
+            ),
+        )
+    )
+
+    # Shape assertions.
+    for dtype in (DataType.FLOAT32, DataType.FLOAT64, DataType.FLOAT64X):
+        histogram = histograms[dtype]
+        assert histogram.total_records > 50
+        assert histogram.msb_flip_fraction(4) < 0.05
+
+    f64x = summaries[DataType.FLOAT64X]
+    assert f64x.below_0002pct > 0.95  # paper: all
+    f64 = summaries[DataType.FLOAT64]
+    assert f64.below_002pct > 0.95  # paper: 99.9%
+    f32 = summaries[DataType.FLOAT32]
+    assert f32.below_5pct > 0.6  # paper: 80.25%
+    i32 = summaries[DataType.INT32]
+    assert i32.above_100pct > 0.1  # paper: 40.2%
+    # The cross-type ordering: float losses tiny, integer losses large.
+    assert f64.median < f32.median or f32.count == 0
+    assert i32.median > f64.median

@@ -1,0 +1,46 @@
+"""Figure 5: bitflips of non-numerical types (bin32/bin64).
+
+Paper: for non-numerical data "all the positions have comparable
+amount of bitflips" — no MSB avoidance, no mid-word concentration.
+"""
+
+from repro.analysis import bitflip_histogram, render_histogram
+from repro.cpu import DataType
+
+from conftest import run_once
+
+
+def test_fig5_nonnumeric_bitflips(benchmark, catalog_corpus):
+    def measure():
+        return {
+            dtype: bitflip_histogram(catalog_corpus.records, dtype)
+            for dtype in (DataType.BIN32, DataType.BIN64, DataType.BIN16)
+        }
+
+    histograms = run_once(benchmark, measure)
+
+    print()
+    reported = 0
+    for dtype, histogram in histograms.items():
+        if histogram.total_records < 30:
+            continue
+        reported += 1
+        zero_to_one, one_to_zero = histogram.proportions()
+        combined = [a + b for a, b in zip(zero_to_one, one_to_zero)]
+        width = dtype.width
+        step = max(1, width // 8)
+        buckets = [sum(combined[i : i + step]) for i in range(0, width, step)]
+        print(
+            render_histogram(
+                buckets,
+                [f"bits {i}-{min(i+step-1, width-1)}" for i in range(0, width, step)],
+                title=f"Figure 5 — bitflip positions, {dtype} "
+                f"({histogram.total_records} records)",
+            )
+        )
+        print()
+        # Uniformity shape: MSB bucket within 4x of the mean bucket.
+        mean = sum(buckets) / len(buckets)
+        assert buckets[-1] > mean / 4
+        assert buckets[0] > mean / 4
+    assert reported >= 1

@@ -1,0 +1,72 @@
+"""Figure 6: proportion of SDCs with some bitflip pattern.
+
+Paper: a heatmap of testcases A-Q × {MIX1, MIX2, SIMD1, FPU1, FPU2}
+with per-setting proportions ranging from 0 to 0.96; many settings are
+pattern-dominated (> 0.5).
+"""
+
+import string
+
+from repro.analysis import pattern_proportions_by_setting, render_table
+
+from conftest import run_once
+
+PROCESSORS = ("MIX1", "MIX2", "SIMD1", "FPU1", "FPU2")
+
+
+def test_fig6_bitflip_pattern_heatmap(benchmark, catalog_corpus):
+    def measure():
+        proportions = pattern_proportions_by_setting(
+            catalog_corpus, min_records=8
+        )
+        return {
+            setting: value
+            for setting, value in proportions.items()
+            if setting[0] in PROCESSORS
+        }
+
+    heatmap = run_once(benchmark, measure)
+    assert heatmap
+
+    # Label the testcases A, B, C ... like the paper's rows.  Rows are
+    # picked round-robin across processors so every column of the
+    # heatmap is populated, like Figure 6's.
+    per_cpu = {cpu: [] for cpu in PROCESSORS}
+    for cpu, testcase in sorted(heatmap):
+        per_cpu[cpu].append(testcase)
+    testcases = []
+    rank = 0
+    while len(testcases) < 17 and any(
+        rank < len(tcs) for tcs in per_cpu.values()
+    ):
+        for cpu in PROCESSORS:
+            if rank < len(per_cpu[cpu]) and len(testcases) < 17:
+                candidate = per_cpu[cpu][rank]
+                if candidate not in testcases:
+                    testcases.append(candidate)
+        rank += 1
+    testcases.sort()
+    letters = dict(zip(testcases, string.ascii_uppercase))
+    rows = []
+    for testcase in testcases:
+        row = [letters[testcase]]
+        for cpu in PROCESSORS:
+            value = heatmap.get((cpu, testcase))
+            row.append("-" if value is None else f"{value:.2f}")
+        rows.append(tuple(row))
+    print()
+    print(
+        render_table(
+            ("tc",) + PROCESSORS,
+            rows,
+            title="Figure 6 — proportion of SDCs matching a bitflip pattern",
+        )
+    )
+
+    values = list(heatmap.values())
+    # Shape: per-setting proportions span a wide range, with a sizable
+    # pattern-dominated cluster (paper: many cells 0.7-0.96) and some
+    # low ones (paper has 0-0.25 cells).
+    assert max(values) > 0.6
+    high = sum(1 for v in values if v > 0.5)
+    assert high / len(values) > 0.3

@@ -1,0 +1,47 @@
+"""Figure 9: occurrence frequency vs minimum triggering temperature.
+
+Paper: each point is a SDC setting; a linear fit between log10 of the
+frequency at the minimum triggering temperature and that temperature
+yields Pearson r = −0.8272.
+"""
+
+from repro.analysis import catalog_setting_survey, linear_fit, render_table
+
+from conftest import run_once
+
+
+def test_fig9_frequency_vs_min_trigger_temperature(
+    benchmark, catalog, library
+):
+    def measure():
+        survey = catalog_setting_survey(
+            list(catalog.values()), library, max_settings_per_processor=4
+        )
+        xs = [p.tmin_c for p in survey]
+        ys = [p.log10_freq_at_tmin for p in survey]
+        return survey, linear_fit(xs, ys)
+
+    survey, fit = run_once(benchmark, measure)
+
+    print()
+    print(
+        render_table(
+            ("metric", "measured", "paper"),
+            (
+                ("settings", len(survey), "~dozens"),
+                ("pearson r", f"{fit.pearson_r:.4f}", "-0.8272"),
+                ("slope (log10/min / °C)", f"{fit.slope:.4f}", "negative"),
+            ),
+            title="Figure 9 — frequency at tmin vs tmin",
+        )
+    )
+    apparent = sum(1 for p in survey if p.apparent)
+    tricky = len(survey) - apparent
+    print(f"  apparent settings: {apparent}, tricky settings: {tricky}")
+
+    assert len(survey) > 30
+    assert fit.slope < 0
+    # Paper: r = −0.8272; accept a strong anti-correlation.
+    assert fit.pearson_r < -0.55
+    # Both SDC classes of §5's apparent/tricky split are populated.
+    assert apparent > 0 and tricky > 0

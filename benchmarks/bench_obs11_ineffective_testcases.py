@@ -1,0 +1,35 @@
+"""Observation 11: 560 of the 633 testcases detect nothing in production.
+
+Measured as the number of toolchain testcases that never appear among
+any detection's failing set over the whole 32-month fleet campaign.
+"""
+
+from repro.analysis import render_table
+from repro.fleet import stats
+from repro.testing import TOOLCHAIN_SIZE
+
+from conftest import run_once
+
+
+def test_obs11_ineffective_testcases(benchmark, campaign):
+    measured = run_once(
+        benchmark,
+        lambda: stats.ineffective_testcase_count(campaign, TOOLCHAIN_SIZE),
+    )
+    effective = TOOLCHAIN_SIZE - measured
+    print()
+    print(
+        render_table(
+            ("metric", "measured", "paper"),
+            (
+                ("toolchain size", TOOLCHAIN_SIZE, 633),
+                ("ineffective testcases", measured, 560),
+                ("effective testcases", effective, 73),
+            ),
+            title="Observation 11 — testcase effectiveness in production",
+        )
+    )
+    # Shape: the overwhelming majority of testcases never fire, which
+    # is what makes equal allocation wasteful and prioritization win.
+    assert measured > 0.72 * TOOLCHAIN_SIZE
+    assert effective > 10

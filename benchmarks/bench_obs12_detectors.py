@@ -1,0 +1,86 @@
+"""Observation 12: existing fault-tolerance techniques vs CPU SDCs.
+
+§6.2's arguments, each measured:
+
+* end-to-end checksums detect post-parity corruption but are blind to
+  CPU SDCs that precede parity computation;
+* SECDED ECC mis-handles the study's multi-bit flip patterns — and the
+  IID single-flip failure model would never have predicted that;
+* erasure coding propagates pre-parity corruption into reconstructed
+  blocks;
+* range predictors miss the minor precision losses of float SDCs.
+"""
+
+from repro.analysis import render_table
+from repro.detectors import (
+    DecodeStatus,
+    checksum_timing_experiment,
+    ecc_multibit_experiment,
+    erasure_faulty_encoder_experiment,
+    erasure_propagation_experiment,
+    prediction_experiment,
+)
+from repro.faults import IIDBitflip
+
+from conftest import run_once
+
+
+def test_obs12_detector_effectiveness(benchmark):
+    def measure():
+        return {
+            "checksum": checksum_timing_experiment(trials=600),
+            "ecc_study": ecc_multibit_experiment(trials=1500),
+            "ecc_iid": ecc_multibit_experiment(
+                bitflip_model=IIDBitflip(), trials=1500
+            ),
+            "erasure": erasure_propagation_experiment(trials=60),
+            "faulty_encoder": erasure_faulty_encoder_experiment(trials=60),
+            "prediction": prediction_experiment(
+                tolerance=0.05, stream_len=4000
+            ),
+        }
+
+    results = run_once(benchmark, measure)
+
+    checksum = results["checksum"]
+    ecc_study = results["ecc_study"]
+    ecc_iid = results["ecc_iid"]
+    erasure = results["erasure"]
+    faulty_encoder = results["faulty_encoder"]
+    prediction = results["prediction"]
+
+    print()
+    print(
+        render_table(
+            ("technique", "scenario", "outcome"),
+            (
+                ("CRC", "corruption after parity",
+                 f"detected {checksum.post_parity_rate:.1%}"),
+                ("CRC", "CPU SDC before parity",
+                 f"detected {checksum.pre_parity_rate:.1%}"),
+                ("SECDED", "study flip model: silent miscorrection",
+                 f"{ecc_study.silent_failure_rate:.2%}"),
+                ("SECDED", "IID single-flip model: silent miscorrection",
+                 f"{ecc_iid.silent_failure_rate:.2%}"),
+                ("RS erasure code", "corrupt shard used in rebuild",
+                 f"propagated {erasure.propagation_rate:.1%}, "
+                 f"verify caught {erasure.verify_caught_pre_parity}"),
+                ("RS erasure code", "parity encoded on faulty vector unit",
+                 f"silent wrong rebuilds "
+                 f"{faulty_encoder.silent_rebuild_rate:.1%}"),
+                ("Range prediction", "float SDC minor losses",
+                 f"missed {prediction.miss_rate:.1%} "
+                 f"(false alarms {prediction.false_alarm_rate:.2%})"),
+            ),
+            title="Observation 12 — fault-tolerance techniques vs CPU SDCs",
+        )
+    )
+
+    assert checksum.post_parity_rate > 0.99
+    assert checksum.pre_parity_rate == 0.0
+    assert ecc_study.silent_failure_rate > 0.0
+    assert ecc_iid.silent_failure_rate == 0.0
+    assert erasure.propagation_rate == 1.0
+    assert erasure.verify_caught_pre_parity == 0
+    assert faulty_encoder.silent_rebuild_rate > 0.5
+    assert prediction.miss_rate > 0.6

@@ -1,0 +1,44 @@
+"""Table 1: failure rate of different test timings.
+
+Paper: factory 0.776‱, datacenter 0.18‱, re-install 2.306‱,
+regular 0.348‱, total 3.61‱.
+"""
+
+import pytest
+
+from repro.analysis import side_by_side
+from repro.fleet import stats
+
+from conftest import run_once
+
+PAPER_PERMYRIAD = {
+    "factory": 0.776,
+    "datacenter": 0.18,
+    "reinstall": 2.306,
+    "regular": 0.348,
+    "total": 3.61,
+}
+
+
+def test_table1_test_timing_failure_rates(benchmark, campaign):
+    measured = run_once(
+        benchmark, lambda: stats.timing_failure_rates_permyriad(campaign)
+    )
+    print()
+    print(
+        side_by_side(
+            PAPER_PERMYRIAD,
+            measured,
+            title="Table 1 — failure rate per test timing (permyriad)",
+        )
+    )
+    # Shape assertions: ordering of stages and overall magnitude.
+    datacenter = measured.get("datacenter", 0.0)
+    assert measured["reinstall"] > measured["factory"] > datacenter
+    assert measured["total"] == pytest.approx(
+        sum(v for k, v in measured.items() if k != "total")
+    )
+    assert 1.0 < measured["total"] < 8.0
+    # Observation 2: pre-production dominates.
+    pre = measured["factory"] + measured["datacenter"] + measured["reinstall"]
+    assert pre / measured["total"] > 0.75

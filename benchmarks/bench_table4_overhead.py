@@ -1,0 +1,106 @@
+"""Table 4: Farron overhead vs baseline per faulty processor.
+
+Paper (percent): baseline test overhead 0.488% for every CPU; Farron
+test+control totals 0.017%-0.145%, with zero control overhead for the
+steady-application CPUs (FPU1, FPU2, CNST2) and small nonzero control
+for MIX1 (0.049%), SIMD1 (0.031%), CNST1 (0.013%).
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    ApplicationProfile,
+    Farron,
+    coverage_experiment,
+    simulate_online,
+)
+from repro.cpu import Feature
+from repro.testing import TestFramework
+from repro.units import THREE_MONTHS_SECONDS
+
+from conftest import run_once
+
+PAPER_PERCENT = {
+    "MIX1": (0.051, 0.049, 0.100),
+    "SIMD1": (0.115, 0.031, 0.145),
+    "FPU1": (0.017, 0.0, 0.017),
+    "FPU2": (0.017, 0.0, 0.017),
+    "CNST1": (0.033, 0.013, 0.046),
+    "CNST2": (0.027, 0.0, 0.027),
+}
+
+BASELINE_PERCENT = 0.488
+
+#: Per-CPU application profiles: spiky apps for the CPUs whose Table-4
+#: rows show nonzero control overhead, steady apps for the rest.
+def _app_for(name):
+    spiky = name in ("MIX1", "SIMD1", "CNST1")
+    instruction_usage = {
+        "MIX1": {"VFMA_F32": 9.0e5},
+        "SIMD1": {"VFMA_F32": 9.0e5},
+        "FPU1": {"FATAN_F64X": 8.0e5},
+        "FPU2": {"FATAN_F64X": 8.0e5},
+        "CNST1": {},
+        "CNST2": {},
+    }[name]
+    return ApplicationProfile(
+        name=f"app-{name}",
+        features=frozenset({Feature.VECTOR, Feature.FPU, Feature.TRX_MEM}),
+        instruction_usage=instruction_usage,
+        consistency_ops_per_s=9.0e5 if name.startswith("CNST") else 0.0,
+        spike_utilization=0.9 if spiky else 0.35,
+        spike_period_s=12 * 3600.0,
+        spike_duration_s=60.0,
+    )
+
+
+def test_table4_overhead(benchmark, catalog, library):
+    def measure():
+        rows = {}
+        for name in PAPER_PERCENT:
+            framework = TestFramework(library)
+            coverage = coverage_experiment(
+                catalog[name], library, "farron", framework=framework
+            )
+            test_overhead = coverage.round_duration_s / THREE_MONTHS_SECONDS
+            farron = Farron(library)
+            online = simulate_online(
+                catalog[name], _app_for(name), hours=72.0,
+                protected=True, farron=farron, dt_s=5.0,
+            )
+            rows[name] = (test_overhead, online.control_overhead)
+        return rows
+
+    measured = run_once(benchmark, measure)
+
+    print()
+    table_rows = []
+    for name, paper in PAPER_PERCENT.items():
+        test_ovh, control_ovh = measured[name]
+        total = test_ovh + control_ovh
+        table_rows.append(
+            (
+                name,
+                f"{test_ovh * 100:.3f}%",
+                f"{control_ovh * 100:.3f}%",
+                f"{total * 100:.3f}%",
+                f"{paper[0]:.3f}/{paper[1]:.3f}/{paper[2]:.3f}%",
+            )
+        )
+    print(
+        render_table(
+            ("CPU", "test", "control", "total", "paper t/c/total"),
+            table_rows,
+            title=(
+                "Table 4 — Farron overhead per CPU "
+                f"(baseline test overhead: {BASELINE_PERCENT}% everywhere)"
+            ),
+        )
+    )
+
+    for name, paper in PAPER_PERCENT.items():
+        test_ovh, control_ovh = measured[name]
+        # Farron's total overhead is far below the baseline's 0.488%.
+        assert (test_ovh + control_ovh) * 100 < BASELINE_PERCENT
+        # Steady-app CPUs have zero control overhead, like the paper.
+        if paper[1] == 0.0:
+            assert control_ovh == 0.0, name

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper,
+printing the paper's published values beside the values measured from
+the simulation.  Expensive artifacts (the million-CPU campaign, the
+catalog SDC-record corpus) are built once per session.
+"""
+
+import pytest
+
+from repro.cpu import full_catalog
+from repro.fleet import FleetSpec, TestPipeline, generate_fleet
+from repro.testing import RecordStore, TestFramework, ToolchainRunner, build_library
+
+#: The paper's population: "over one million processors".
+FLEET_SIZE = 1_000_000
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_library()
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return full_catalog()
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    return generate_fleet(FleetSpec(total_processors=FLEET_SIZE, seed=1))
+
+
+@pytest.fixture(scope="session")
+def campaign(fleet, library):
+    """The 32-month staged test campaign over the full fleet."""
+    return TestPipeline(fleet, library, seed=1).run()
+
+
+@pytest.fixture(scope="session")
+def catalog_corpus(catalog, library):
+    """SDC records from generous hot runs over all 27 study CPUs.
+
+    This is the §2.4 corpus ("more than ten thousand SDC records")
+    every §4-§5 figure is computed from.
+    """
+    store = RecordStore()
+    for processor in catalog.values():
+        runner = ToolchainRunner(processor)
+        for testcase in library:
+            if runner.can_ever_fail(testcase):
+                runner.run_at_fixed_temperature(
+                    testcase, 78.0, 900.0, store=store
+                )
+    return store
+
+
+@pytest.fixture(scope="session")
+def framework(library):
+    return TestFramework(library)
+
+
+def run_once(benchmark, func):
+    """Benchmark a whole-experiment regeneration exactly once."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

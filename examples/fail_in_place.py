@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Fail-in-place: how much capacity fine-grained decommission saves.
+
+§3.2 notes that large companies "decommission the whole faulty
+processor or isolate the whole machine no matter which of its cores are
+identified as faulty", and suggests investigating "the feasibility of
+continuing to utilize the unaffected cores" (the Hyrax direction).
+Farron's §7.1 policy does exactly that: mask the defective core, keep
+the rest, deprecate only when more than two cores are bad.
+
+This example runs a fleet campaign, takes the detected-faulty
+population, and prices both policies in physical cores.
+"""
+
+import sys
+
+from repro import build_library
+from repro.fleet import FleetSpec, TestPipeline, generate_fleet, salvage_study
+
+
+def main(total: int = 300_000) -> None:
+    fleet = generate_fleet(FleetSpec(total_processors=total, seed=1))
+    library = build_library()
+    campaign = TestPipeline(fleet, library, seed=1).run()
+    detected_ids = {d.processor_id for d in campaign.detections}
+    detected = [p for p in fleet.faulty if p.processor_id in detected_ids]
+
+    report = salvage_study(detected)
+    print(f"fleet: {total:,} CPUs; detected faulty: "
+          f"{report.faulty_processors}")
+    print(f"cores on faulty processors          : "
+          f"{report.total_cores_on_faulty}")
+    print(f"whole-processor decommission loses  : "
+          f"{report.cores_lost_whole_processor} cores")
+    print(f"fine-grained decommission loses     : "
+          f"{report.cores_lost_fine_grained} cores")
+    print(f"cores salvaged                      : {report.cores_salvaged} "
+          f"({report.salvage_fraction:.1%} of the discarded capacity)")
+    print(f"processors kept in service (masked) : {report.processors_kept}")
+    print(f"processors deprecated (>2 bad cores): "
+          f"{report.processors_deprecated}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300_000)

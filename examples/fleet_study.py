@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Reproduce the measurement study (§3-§5) on a generated fleet.
+
+Generates a fleet (300k CPUs by default; pass a size to scale up to the
+paper's million), runs the 32-month staged test campaign, then prints
+the study's headline numbers next to the paper's:
+
+* Table 1  — failure rate per test timing
+* Table 2  — failure rate per micro-architecture
+* Figure 2 — defective-feature proportions
+* Figure 3 — affected-datatype proportions
+* Obs. 4   — single-core vs all-core defects
+* Obs. 11  — ineffective testcases
+"""
+
+import sys
+
+from repro import build_library
+from repro.analysis import render_series, side_by_side
+from repro.cpu.catalog import PAPER_ARCH_FAILURE_RATES_PERMYRIAD
+from repro.fleet import FleetSpec, PipelineConfig, TestPipeline, generate_fleet, stats
+
+PAPER_TIMINGS = {
+    "factory": 0.776,
+    "datacenter": 0.18,
+    "reinstall": 2.306,
+    "regular": 0.348,
+    "total": 3.61,
+}
+
+
+def main(total: int = 300_000) -> None:
+    print(f"generating fleet of {total:,} processors ...")
+    fleet = generate_fleet(FleetSpec(total_processors=total, seed=1))
+    print(f"  {len(fleet.faulty)} faulty processors "
+          f"({len(fleet.detectable_faulty())} detectable by the toolchain)")
+
+    library = build_library()
+    print("running 32-month staged test campaign ...")
+    campaign = TestPipeline(fleet, library, seed=1).run()
+    print(f"  {len(campaign.detections)} detections, "
+          f"{len(campaign.undetected_ids)} escaped\n")
+
+    print(side_by_side(
+        PAPER_TIMINGS,
+        stats.timing_failure_rates_permyriad(campaign),
+        title="Table 1 — failure rate per test timing (permyriad)",
+    ))
+    pre = stats.pre_production_fraction(
+        campaign, PipelineConfig().pre_production_stage_names()
+    )
+    print(f"\npre-production share of detections: {pre:.1%} (paper 90.36%)\n")
+
+    print(side_by_side(
+        PAPER_ARCH_FAILURE_RATES_PERMYRIAD,
+        stats.arch_failure_rates_permyriad(campaign),
+        title="Table 2 — failure rate per micro-architecture (permyriad)",
+    ))
+
+    print()
+    print(render_series(
+        [(str(k), v) for k, v in stats.feature_proportions(campaign, fleet).items()],
+        title="Figure 2 — proportion of faulty CPUs per defective feature",
+    ))
+    print()
+    print(render_series(
+        sorted(
+            ((str(k), v) for k, v in stats.datatype_proportions(campaign, fleet).items()),
+            key=lambda p: -p[1],
+        ),
+        title="Figure 3 — proportion of faulty CPUs per affected datatype",
+    ))
+
+    single = stats.single_core_fraction(campaign, fleet)
+    print(f"\nObservation 4: single-defective-core fraction = {single:.2f} "
+          f"(paper: 'about half')")
+    ineffective = stats.ineffective_testcase_count(campaign, len(library))
+    print(f"Observation 11: {ineffective} of {len(library)} testcases "
+          f"never detected anything (paper: 560 of 633)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300_000)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: test a faulty CPU, inspect its SDCs, let Farron manage it.
+
+Walks the library's core loop in a minute of wall time:
+
+1. pick a faulty processor from the study catalog (MIX1, the paper's
+   headline mixed-defect CPU);
+2. run toolchain testcases against it and look at raw SDC records;
+3. hand the processor to Farron: pre-production testing, core masking,
+   and an efficient prioritized regular round.
+"""
+
+from repro import Farron, TestFramework, build_library, catalog_processor
+from repro.analysis import setting_patterns
+
+
+def main() -> None:
+    library = build_library()
+    mix1 = catalog_processor("MIX1")
+    print(f"processor {mix1.processor_id}: arch={mix1.arch.name}, "
+          f"{mix1.arch.physical_cores} physical cores, "
+          f"defective cores={sorted(mix1.defective_cores())}")
+    defect = mix1.defects[0]
+    print(f"defect: features={[str(f) for f in defect.features]}, "
+          f"instructions={list(defect.instructions)}")
+
+    # --- 2. run a few testcases hot and inspect the records ------------
+    framework = TestFramework(library)
+    runner = framework.runner_for(mix1)
+    failing = []
+    for testcase in library.loops():
+        if runner.can_ever_fail(testcase):
+            run = runner.run_at_fixed_temperature(testcase, 75.0, 600.0)
+            if run.detected:
+                failing.append((testcase, run))
+    print(f"\n{len(failing)} loop testcases failed at 75 °C")
+    testcase, run = failing[0]
+    print(f"example: {testcase.describe()} -> {len(run.records)} SDC records")
+    record = run.records[0]
+    print(f"  expected={record.expected!r} actual={record.actual!r} "
+          f"mask={record.mask:#x} ({record.flipped_bits} bit(s) flipped)")
+    patterns = setting_patterns(run.records)
+    print(f"  recurring bitflip patterns for this setting: "
+          f"{[hex(m) for m in patterns]}")
+
+    # --- 3. Farron ------------------------------------------------------
+    farron = Farron(library)
+    outcome = farron.pre_production_test(mix1)
+    print(f"\nFarron pre-production on MIX1: detected={outcome.detected}, "
+          f"status={outcome.status.value} "
+          f"(all 16 cores defective -> whole processor deprecated)")
+
+    # A single-defective-core CPU shows the fine-grained path: mask the
+    # bad core and keep the rest in the reliable pool.
+    simd1 = catalog_processor("SIMD1")
+    outcome = farron.pre_production_test(simd1)
+    print(f"Farron pre-production on SIMD1: detected={outcome.detected}, "
+          f"status={outcome.status.value}, "
+          f"masked cores={outcome.newly_masked_cores}")
+    if outcome.status.value == "online":
+        round_outcome = farron.regular_test(simd1.processor_id)
+        hours = round_outcome.round_duration_s / 3600.0
+        print(f"Farron regular round on the masked SIMD1: {hours:.2f} h "
+              f"(baseline would be 10.55 h), "
+              f"detected={round_outcome.detected}")
+
+
+if __name__ == "__main__":
+    main()

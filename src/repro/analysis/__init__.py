@@ -1,0 +1,70 @@
+"""Measurement and analysis machinery of the study (§3-§5)."""
+
+from .correlation import LinearFit, linear_fit, pearson_r
+from .bitflips import (
+    PATTERN_THRESHOLD,
+    BitflipHistogram,
+    bitflip_histogram,
+    flip_count_distribution,
+    flip_direction_fraction,
+    pattern_proportion,
+    pattern_proportions_by_setting,
+    setting_patterns,
+)
+from .precision import (
+    PrecisionSummary,
+    empirical_cdf,
+    fraction_above,
+    fraction_below,
+    log10_losses,
+    precision_losses,
+    summarize_precision,
+)
+from .reproducibility import (
+    FrequencyMeasurement,
+    SettingReproducibility,
+    TemperatureSweep,
+    catalog_setting_survey,
+    measure_frequency,
+    temperature_sweep,
+)
+from .observations import (
+    ObservationResult,
+    build_catalog_corpus,
+    check_all_observations,
+)
+from .report import render_histogram, render_series, render_table, side_by_side
+
+__all__ = [
+    "LinearFit",
+    "linear_fit",
+    "pearson_r",
+    "PATTERN_THRESHOLD",
+    "BitflipHistogram",
+    "bitflip_histogram",
+    "flip_count_distribution",
+    "flip_direction_fraction",
+    "pattern_proportion",
+    "pattern_proportions_by_setting",
+    "setting_patterns",
+    "PrecisionSummary",
+    "empirical_cdf",
+    "fraction_above",
+    "fraction_below",
+    "log10_losses",
+    "precision_losses",
+    "summarize_precision",
+    "FrequencyMeasurement",
+    "SettingReproducibility",
+    "TemperatureSweep",
+    "catalog_setting_survey",
+    "measure_frequency",
+    "temperature_sweep",
+    "ObservationResult",
+    "build_catalog_corpus",
+    "check_all_observations",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "side_by_side",
+]

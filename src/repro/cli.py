@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the study's headline experiments without writing any code:
+
+* ``fleet-study``    — Tables 1-2, Figures 2-3, Observations 4/11
+* ``catalog``        — the 27 studied faulty processors (Table 3 view)
+* ``test``           — run the toolchain against one catalog CPU
+* ``protect``        — Farron online protection demo on MIX1
+* ``detectors``      — Observation 12's fault-tolerance comparison
+* ``salvage``        — fail-in-place capacity accounting
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Understanding Silent Data Corruptions in a "
+            "Large Production CPU Population' (SOSP 2023)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fleet = sub.add_parser("fleet-study", help="run the fleet measurement study")
+    fleet.add_argument(
+        "--size", type=int, default=300_000,
+        help="fleet size (default 300k; the paper used >1M)",
+    )
+    fleet.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("catalog", help="list the 27 studied faulty processors")
+
+    test = sub.add_parser("test", help="run the toolchain against a catalog CPU")
+    test.add_argument("cpu", help="catalog name, e.g. MIX1")
+    test.add_argument(
+        "--duration", type=float, default=60.0,
+        help="seconds per testcase (default 60, the baseline's allocation)",
+    )
+    test.add_argument(
+        "--preheat", type=float, default=None,
+        help="burn-in target temperature in °C (default: start at idle)",
+    )
+
+    protect = sub.add_parser(
+        "protect", help="Farron online-protection demo (MIX1)"
+    )
+    protect.add_argument("--hours", type=float, default=24.0)
+
+    sub.add_parser("detectors", help="Observation 12 detector comparison")
+
+    salvage = sub.add_parser(
+        "salvage", help="fail-in-place capacity accounting"
+    )
+    salvage.add_argument("--size", type=int, default=300_000)
+    return parser
+
+
+def _cmd_fleet_study(args) -> int:
+    from .analysis import side_by_side
+    from .cpu.catalog import PAPER_ARCH_FAILURE_RATES_PERMYRIAD
+    from .fleet import FleetSpec, TestPipeline, generate_fleet, stats
+    from .testing import build_library
+
+    fleet = generate_fleet(
+        FleetSpec(total_processors=args.size, seed=args.seed)
+    )
+    campaign = TestPipeline(
+        fleet, build_library(), seed=args.seed
+    ).run()
+    paper_timings = {
+        "factory": 0.776, "datacenter": 0.18, "reinstall": 2.306,
+        "regular": 0.348, "total": 3.61,
+    }
+    print(side_by_side(
+        paper_timings, stats.timing_failure_rates_permyriad(campaign),
+        title="Table 1 — failure rate per test timing (permyriad)",
+    ))
+    print()
+    print(side_by_side(
+        PAPER_ARCH_FAILURE_RATES_PERMYRIAD,
+        stats.arch_failure_rates_permyriad(campaign),
+        title="Table 2 — failure rate per micro-architecture (permyriad)",
+    ))
+    return 0
+
+
+def _cmd_catalog(args) -> int:
+    from .analysis import render_table
+    from .cpu import full_catalog
+
+    rows = []
+    for name, processor in sorted(full_catalog().items()):
+        defect = processor.defects[0]
+        rows.append((
+            name,
+            processor.arch.name,
+            f"{processor.age_years:.2f}",
+            len(processor.defective_cores()),
+            str(defect.sdc_type),
+            ",".join(str(f) for f in defect.features),
+        ))
+    print(render_table(
+        ("CPU", "arch", "age(Y)", "#pcore", "type", "features"),
+        rows,
+        title="The 27 extensively-studied faulty processors",
+    ))
+    return 0
+
+
+def _cmd_test(args) -> int:
+    from .cpu import catalog_processor
+    from .errors import ReproError
+    from .testing import TestFramework, build_library
+
+    library = build_library()
+    framework = TestFramework(library)
+    try:
+        processor = catalog_processor(args.cpu)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    plan = framework.equal_allocation_plan(args.duration)
+    plan.preheat_to_c = args.preheat
+    report = framework.execute(plan, processor)
+    hours = report.total_duration_s / 3600.0
+    print(f"{processor.processor_id}: one round at {args.duration:.0f} s per "
+          f"testcase ({hours:.2f} h total)")
+    print(f"  detected: {report.detected}")
+    print(f"  failing testcases: {len(report.failed_testcase_ids)}")
+    print(f"  SDC records: {report.error_count}")
+    return 0
+
+
+def _cmd_protect(args) -> int:
+    from .core import ApplicationProfile, simulate_online
+    from .cpu import Feature, catalog_processor
+    from .testing import build_library
+
+    library = build_library()
+    mix1 = catalog_processor("MIX1")
+    app = ApplicationProfile(
+        name="matrix",
+        features=frozenset({Feature.VECTOR, Feature.FPU}),
+        instruction_usage={"VFMA_F32": 9.0e5},
+        spike_period_s=2 * 3600.0,
+        spike_duration_s=120.0,
+    )
+    unprotected = simulate_online(
+        mix1, app, hours=args.hours, protected=False, library=library,
+        dt_s=5.0,
+    )
+    protected = simulate_online(
+        mix1, app, hours=args.hours, protected=True, library=library,
+        dt_s=5.0,
+    )
+    print(f"MIX1, {args.hours:.0f} simulated hours:")
+    print(f"  unprotected: {unprotected.sdc_count} SDCs "
+          f"(max temp {unprotected.max_temp_c:.1f} °C)")
+    print(f"  with Farron: {protected.sdc_count} SDCs, boundary "
+          f"{protected.final_boundary_c:.1f} °C, backoff "
+          f"{protected.backoff_seconds_per_hour:.1f} s/h")
+    return 0
+
+
+def _cmd_detectors(args) -> int:
+    from .detectors import (
+        an_code_experiment,
+        checksum_timing_experiment,
+        ecc_multibit_experiment,
+        erasure_propagation_experiment,
+        prediction_experiment,
+    )
+
+    checksum = checksum_timing_experiment()
+    print(f"CRC: post-parity {checksum.post_parity_rate:.0%} detected, "
+          f"pre-parity (CPU SDC) {checksum.pre_parity_rate:.0%} detected")
+    ecc = ecc_multibit_experiment()
+    print(f"SECDED: silent miscorrection rate "
+          f"{ecc.silent_failure_rate:.2%} under the study flip model")
+    erasure = erasure_propagation_experiment()
+    print(f"RS erasure code: corruption propagated in "
+          f"{erasure.propagation_rate:.0%} of rebuilds")
+    prediction = prediction_experiment()
+    print(f"range prediction: missed {prediction.miss_rate:.0%} of float SDCs")
+    an = an_code_experiment()
+    print(f"AN-coded ALU (new opportunity): detected "
+          f"{an.an_detection_rate:.0%} at decode")
+    return 0
+
+
+def _cmd_salvage(args) -> int:
+    from .fleet import FleetSpec, TestPipeline, generate_fleet, salvage_study
+    from .testing import build_library
+
+    fleet = generate_fleet(FleetSpec(total_processors=args.size, seed=1))
+    campaign = TestPipeline(fleet, build_library(), seed=1).run()
+    detected_ids = {d.processor_id for d in campaign.detections}
+    report = salvage_study(
+        [p for p in fleet.faulty if p.processor_id in detected_ids]
+    )
+    print(f"detected faulty processors: {report.faulty_processors}")
+    print(f"cores salvaged by fine-grained decommission: "
+          f"{report.cores_salvaged} of {report.cores_lost_whole_processor} "
+          f"({report.salvage_fraction:.1%})")
+    return 0
+
+
+_COMMANDS = {
+    "fleet-study": _cmd_fleet_study,
+    "catalog": _cmd_catalog,
+    "test": _cmd_test,
+    "protect": _cmd_protect,
+    "detectors": _cmd_detectors,
+    "salvage": _cmd_salvage,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

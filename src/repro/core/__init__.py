@@ -1,0 +1,50 @@
+"""Farron, the paper's SDC mitigation system (§7), plus the baseline."""
+
+from .boundary import AdaptiveTemperatureBoundary, BoundaryDecision
+from .backoff import BackoffController
+from .priority import Priority, PriorityDatabase
+from .scheduler import FarronScheduleConfig, FarronScheduler
+from .pool import (
+    DEPRECATION_CORE_THRESHOLD,
+    PoolEntry,
+    ProcessorStatus,
+    ReliableResourcePool,
+)
+from .farron import Farron, FarronConfig, RoundOutcome
+from .baseline import AlibabaBaseline, BaselineConfig, BaselineOutcome
+from .evaluation import (
+    ApplicationProfile,
+    CoverageResult,
+    OnlineSimulationResult,
+    OverheadResult,
+    coverage_experiment,
+    overhead_experiment,
+    simulate_online,
+)
+
+__all__ = [
+    "AdaptiveTemperatureBoundary",
+    "BoundaryDecision",
+    "BackoffController",
+    "Priority",
+    "PriorityDatabase",
+    "FarronScheduleConfig",
+    "FarronScheduler",
+    "DEPRECATION_CORE_THRESHOLD",
+    "PoolEntry",
+    "ProcessorStatus",
+    "ReliableResourcePool",
+    "Farron",
+    "FarronConfig",
+    "RoundOutcome",
+    "AlibabaBaseline",
+    "BaselineConfig",
+    "BaselineOutcome",
+    "ApplicationProfile",
+    "CoverageResult",
+    "OnlineSimulationResult",
+    "OverheadResult",
+    "coverage_experiment",
+    "overhead_experiment",
+    "simulate_online",
+]

@@ -1,0 +1,83 @@
+"""Testcase priorities: basic / active / suspected (§7.1).
+
+    "We designate targeted features and priorities for testcases,
+    establishing three distinct priority levels: basic, active,
+    suspected.  The 'basic' priority is assigned to testcases that,
+    despite being designed for a particular feature, fail to detect
+    faults in our large-scale tests.  The 'active' priority is
+    designated for testcases with proven track records of successfully
+    identifying defective features.  Lastly, the 'suspected' priority is
+    only assigned to testcases that have detected errors on the core(s)
+    of the current processor."
+
+The database is fed from fleet history (active) and per-processor test
+results (suspected); Observation 11 is why this matters — 560 of 633
+testcases never find anything, so equal allocation wastes nearly all of
+its budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from ..testing.library import TestcaseLibrary
+
+__all__ = ["Priority", "PriorityDatabase"]
+
+
+class Priority(enum.Enum):
+    BASIC = "basic"
+    ACTIVE = "active"
+    SUSPECTED = "suspected"
+
+
+@dataclass
+class PriorityDatabase:
+    """Fleet-wide and per-processor testcase effectiveness history."""
+
+    #: Testcases that detected errors anywhere in the fleet's history
+    #: (pre-production or earlier regular tests).
+    active_testcases: Set[str] = field(default_factory=set)
+    #: Per-processor: testcases that detected errors on that processor.
+    suspected_by_processor: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # -- updates ------------------------------------------------------------
+
+    def record_fleet_detections(self, testcase_ids: Iterable[str]) -> None:
+        """Promote testcases to active from large-scale test history."""
+        self.active_testcases.update(testcase_ids)
+
+    def record_processor_detections(
+        self, processor_id: str, testcase_ids: Iterable[str]
+    ) -> None:
+        """Mark testcases suspected for one processor (and active
+        fleet-wide — a detection anywhere is a track record)."""
+        ids = set(testcase_ids)
+        self.suspected_by_processor.setdefault(processor_id, set()).update(ids)
+        self.active_testcases.update(ids)
+
+    # -- queries ---------------------------------------------------------------
+
+    def priority_of(self, testcase_id: str, processor_id: str) -> Priority:
+        suspected = self.suspected_by_processor.get(processor_id, set())
+        if testcase_id in suspected:
+            return Priority.SUSPECTED
+        if testcase_id in self.active_testcases:
+            return Priority.ACTIVE
+        return Priority.BASIC
+
+    def suspected_for(self, processor_id: str) -> Set[str]:
+        return set(self.suspected_by_processor.get(processor_id, set()))
+
+    def partition(
+        self, library: TestcaseLibrary, processor_id: str
+    ) -> Dict[Priority, list]:
+        """Split a library's testcases by priority for one processor."""
+        parts: Dict[Priority, list] = {p: [] for p in Priority}
+        for testcase in library:
+            parts[self.priority_of(testcase.testcase_id, processor_id)].append(
+                testcase
+            )
+        return parts

@@ -1,0 +1,84 @@
+"""CPU substrate: features, data types, ISA, defects, processors.
+
+Public surface of the simulated-processor layer.  See
+:mod:`repro.cpu.catalog` for the study's micro-architectures and the 27
+extensively-studied faulty CPUs.
+"""
+
+from .features import (
+    CONSISTENCY_FEATURES,
+    COMPUTATION_FEATURES,
+    DataType,
+    Feature,
+    FEATURE_DATATYPES,
+    SDCType,
+    VULNERABLE_FEATURES,
+    sdc_type_of,
+)
+from .datatypes import (
+    decode,
+    encode,
+    flip,
+    flipped_positions,
+    popcount,
+    relative_precision_loss,
+    xor_mask,
+)
+from .defects import Defect, DefectScope, TriggerProfile
+from .isa import DEFAULT_ISA, ISA, Instruction
+from .processor import LogicalCore, MicroArchitecture, PhysicalCore, Processor
+from .executor import ExecutionResult, Executor
+from .coherence import CoherentSystem, LineState, StaleRead, drop_hook_from_defect
+from .txmem import TornCommit, Transaction, TransactionalMemory, tear_hook_from_defect
+from .catalog import (
+    ARCHITECTURES,
+    PAPER_ARCH_FAILURE_RATES_PERMYRIAD,
+    catalog_processor,
+    full_catalog,
+    generated_catalog,
+    named_catalog,
+)
+
+__all__ = [
+    "CONSISTENCY_FEATURES",
+    "COMPUTATION_FEATURES",
+    "DataType",
+    "Feature",
+    "FEATURE_DATATYPES",
+    "SDCType",
+    "VULNERABLE_FEATURES",
+    "sdc_type_of",
+    "decode",
+    "encode",
+    "flip",
+    "flipped_positions",
+    "popcount",
+    "relative_precision_loss",
+    "xor_mask",
+    "Defect",
+    "DefectScope",
+    "TriggerProfile",
+    "DEFAULT_ISA",
+    "ISA",
+    "Instruction",
+    "LogicalCore",
+    "MicroArchitecture",
+    "PhysicalCore",
+    "Processor",
+    "ExecutionResult",
+    "Executor",
+    "CoherentSystem",
+    "LineState",
+    "StaleRead",
+    "drop_hook_from_defect",
+    "TornCommit",
+    "Transaction",
+    "TransactionalMemory",
+    "tear_hook_from_defect",
+    "ARCHITECTURES",
+    "PAPER_ARCH_FAILURE_RATES_PERMYRIAD",
+    "catalog_processor",
+    "full_catalog",
+    "generated_catalog",
+    "named_catalog",
+]

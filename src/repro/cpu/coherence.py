@@ -1,0 +1,193 @@
+"""A MESI cache-coherence simulator with injectable protocol defects.
+
+Consistency SDCs "can only be detected with multi-threaded tests"
+(§4.1) and have no deterministic bitflip pattern; the corruption is a
+*stale or torn value* observed by another core.  The paper's second
+§2.2 case study is exactly this: a client thread packs data plus
+checksum into a shared buffer, and "due to defective cache coherence,
+the daemon thread sometimes got inconsistent data".
+
+This module simulates per-core private caches kept coherent with the
+MESI protocol over a snooping bus.  A defective processor drops
+invalidation messages to specific cores with a probability supplied by
+a hook (derived from the defect's trigger law), leaving stale lines in
+Shared state — subsequent reads on the victim core return old data,
+which is precisely the observable corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..errors import CoherenceError, ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cpu.defects import Defect
+    from ..faults.trigger import TriggerModel
+
+__all__ = [
+    "LineState",
+    "StaleRead",
+    "CoherentSystem",
+    "drop_hook_from_defect",
+]
+
+#: Hook deciding whether a protocol message is lost.  Arguments are the
+#: event kind (currently only ``"invalidate"``) and the *victim* core.
+DropHook = Callable[[str, int], bool]
+
+
+class LineState(enum.Enum):
+    """MESI cache-line states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class _CacheLine:
+    state: LineState
+    value: int
+
+
+@dataclass(frozen=True)
+class StaleRead:
+    """A detected coherence violation: a read returned outdated data."""
+
+    core_id: int
+    address: int
+    stale_value: int
+    current_value: int
+
+
+@dataclass
+class CoherentSystem:
+    """N cores with private caches over a shared memory, MESI-coherent.
+
+    The simulator is intentionally sequentially-consistent when healthy:
+    with no drop hook, every read returns the most recently written
+    value, which the unit tests assert exhaustively.  All corruption
+    comes from injected message loss.
+    """
+
+    n_cores: int
+    drop_hook: Optional[DropHook] = None
+    memory: Dict[int, int] = field(default_factory=dict)
+    #: Reads that returned stale data (appended as they happen).
+    violations: List[StaleRead] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError("n_cores must be positive")
+        self._caches: List[Dict[int, _CacheLine]] = [
+            {} for _ in range(self.n_cores)
+        ]
+
+    # -- internal protocol actions ------------------------------------------
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.n_cores:
+            raise CoherenceError(f"core {core_id} out of range")
+
+    def _writeback(self, core_id: int, address: int) -> None:
+        line = self._caches[core_id].get(address)
+        if line is not None and line.state is LineState.MODIFIED:
+            self.memory[address] = line.value
+            line.state = LineState.SHARED
+
+    def _invalidate_others(self, writer: int, address: int) -> None:
+        for core_id in range(self.n_cores):
+            if core_id == writer:
+                continue
+            line = self._caches[core_id].get(address)
+            if line is None or line.state is LineState.INVALID:
+                continue
+            if self.drop_hook is not None and self.drop_hook("invalidate", core_id):
+                # The defect: the invalidation never reaches this core.
+                # Its line silently stays valid with the old value.
+                continue
+            if line.state is LineState.MODIFIED:
+                self.memory[address] = line.value
+            line.state = LineState.INVALID
+
+    # -- public memory operations --------------------------------------------
+
+    def write(self, core_id: int, address: int, value: int) -> None:
+        """Store ``value`` at ``address`` from ``core_id``."""
+        self._check_core(core_id)
+        self._invalidate_others(core_id, address)
+        self._caches[core_id][address] = _CacheLine(LineState.MODIFIED, value)
+        # Track the architecturally current value for violation checks.
+        self.memory[address] = value
+
+    def read(self, core_id: int, address: int, default: int = 0) -> int:
+        """Load from ``address`` on ``core_id``; records stale reads."""
+        self._check_core(core_id)
+        line = self._caches[core_id].get(address)
+        current = self.memory.get(address, default)
+        if line is not None and line.state is not LineState.INVALID:
+            if line.value != current:
+                self.violations.append(
+                    StaleRead(core_id, address, line.value, current)
+                )
+            return line.value
+        # Miss: fetch from memory; the line is Shared if cached elsewhere.
+        shared = any(
+            other.get(address) is not None
+            and other[address].state is not LineState.INVALID
+            for i, other in enumerate(self._caches)
+            if i != core_id
+        )
+        state = LineState.SHARED if shared else LineState.EXCLUSIVE
+        self._caches[core_id][address] = _CacheLine(state, current)
+        return current
+
+    def flush(self, core_id: int) -> None:
+        """Write back and drop every line a core holds."""
+        self._check_core(core_id)
+        for address in list(self._caches[core_id]):
+            self._writeback(core_id, address)
+        self._caches[core_id].clear()
+
+    def line_state(self, core_id: int, address: int) -> LineState:
+        line = self._caches[core_id].get(address)
+        return LineState.INVALID if line is None else line.state
+
+
+def drop_hook_from_defect(
+    defect: "Defect",
+    trigger: "TriggerModel",
+    setting_key: str,
+    temperature_c: float,
+    ops_per_s: float,
+    rng: np.random.Generator,
+    time_compression: float = 1.0,
+) -> DropHook:
+    """Build a message-drop hook from a consistency defect.
+
+    The per-message drop probability follows the same trigger law as
+    computation defects: zero below the setting's minimum triggering
+    temperature, exponential above it, and scaled per victim core.
+    """
+    if not defect.is_consistency:
+        raise ConfigurationError(
+            f"defect {defect.defect_id} is not a consistency defect"
+        )
+
+    def hook(event: str, core_id: int) -> bool:
+        if event != "invalidate":
+            return False
+        probability = time_compression * trigger.per_execution_probability(
+            defect, setting_key, temperature_c, ops_per_s, core_id
+        )
+        return probability > 0.0 and rng.random() < probability
+
+    return hook

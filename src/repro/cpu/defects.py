@@ -1,0 +1,178 @@
+"""The defect model: what is wrong with a faulty processor.
+
+A :class:`Defect` captures everything the study measures about a fault:
+
+* *where* it lives — which feature(s), which physical core(s)
+  (Observation 4: about half the faulty CPUs have a single defective
+  core, the other half have all cores affected, sometimes with
+  per-core occurrence frequencies differing by orders of magnitude);
+* *what* it corrupts — which instructions and result data types, and
+  with which bitflip behaviour (Observations 6-8);
+* *when* it triggers — minimum triggering temperature, exponential
+  temperature sensitivity, and instruction-usage-stress sensitivity
+  (Observations 9-10);
+* *how detectable* it is — consistency defects need multi-threaded
+  testcases (§4.1), and a small tail escapes the toolchain entirely
+  (§2.3's false negatives).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .features import (
+    CONSISTENCY_FEATURES,
+    DataType,
+    Feature,
+    SDCType,
+    sdc_type_of,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.bitflip import BitflipModel
+
+__all__ = ["DefectScope", "TriggerProfile", "Defect"]
+
+
+class DefectScope(enum.Enum):
+    """Whether a defect affects one physical core or all of them."""
+
+    SINGLE_CORE = "single_core"
+    ALL_CORES = "all_cores"
+
+
+@dataclass(frozen=True)
+class TriggerProfile:
+    """Triggering-condition parameters of a defect (Observation 10).
+
+    The SDC occurrence frequency (errors/minute) of a *setting* —
+    a (defect, testcase) pair — is::
+
+        freq(T, usage) = 0                                if T < tmin
+                       = 10 ** (log10_freq_at_tmin
+                                + temp_slope * (T - tmin))
+                         * (usage / reference_usage) ** stress_exponent
+                         * core_multiplier                otherwise
+
+    where ``tmin`` and ``log10_freq_at_tmin`` get a deterministic
+    per-setting adjustment (see :mod:`repro.faults.trigger`), realizing
+    both the exponential temperature law of Figure 8 and the
+    freq-vs-min-trigger-temperature anti-correlation of Figure 9.
+    """
+
+    #: Minimum triggering temperature (°C) at the defect level.
+    tmin: float
+    #: log10 of errors/minute at ``tmin`` under reference usage.
+    log10_freq_at_tmin: float
+    #: d log10(freq) / dT above tmin; Figure 8 fits fall in 0.08-0.22.
+    temp_slope: float
+    #: Exponent of the usage-stress scaling; >1 makes low-usage
+    #: testcases effectively error-free (§5's instruction-usage stress).
+    stress_exponent: float = 1.6
+    #: Spread (°C) of the per-setting tmin jitter.
+    tmin_jitter: float = 6.0
+    #: Spread (log10 units) of the per-setting frequency jitter.
+    freq_jitter: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.temp_slope <= 0:
+            raise ConfigurationError("temp_slope must be positive")
+        if self.stress_exponent < 0:
+            raise ConfigurationError("stress_exponent must be non-negative")
+        if self.tmin_jitter < 0 or self.freq_jitter < 0:
+            raise ConfigurationError("jitter spreads must be non-negative")
+
+
+@dataclass(frozen=True)
+class Defect:
+    """A single hardware defect of a faulty processor."""
+
+    defect_id: str
+    features: Tuple[Feature, ...]
+    scope: DefectScope
+    #: Physical-core ids affected.  For ``ALL_CORES`` defects this lists
+    #: every core of the processor.
+    core_ids: Tuple[int, ...]
+    #: Defective instruction mnemonics (empty for consistency defects:
+    #: "a program often does not invoke a specific instruction for cache
+    #: coherence", §4.1).
+    instructions: Tuple[str, ...]
+    #: Result data types that can be corrupted (Table 3's
+    #: "impacted datatypes"; empty for consistency defects).
+    datatypes: Tuple[DataType, ...]
+    trigger: TriggerProfile
+    #: Bitflip behaviour; ``None`` for consistency defects, whose
+    #: corruptions are stale/torn data rather than flipped result bits.
+    bitflip: Optional["BitflipModel"] = None
+    #: Per-core occurrence-frequency multipliers.  MIX1/MIX2-style
+    #: defects hit every core but at frequencies differing by orders of
+    #: magnitude (Observation 4).  Missing cores default to 1.0.
+    core_multipliers: Dict[int, float] = field(default_factory=dict)
+    #: Consistency defects can only be detected by multi-threaded
+    #: testcases (§4.1).
+    multithread_only: bool = False
+    #: True for the tail of defects that escape the toolchain entirely
+    #: ("We did find SDCs that cannot be detected by this toolchain",
+    #: §2.3); the fleet pipeline never detects these.
+    escapes_toolchain: bool = False
+    #: Days after manufacturing at which the defect becomes active.
+    #: 0 = present at birth; >0 models burn-in / wear-related onset,
+    #: which is what makes re-installation and regular testing find
+    #: faults that factory testing missed (Table 1).
+    onset_days: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ConfigurationError("a defect must name at least one feature")
+        types = {sdc_type_of(f) for f in self.features}
+        if len(types) != 1:
+            # Observation 5: "if one processor has multiple defective
+            # features, they always belong to one type."
+            raise ConfigurationError(
+                "a defect cannot mix computation and consistency features"
+            )
+        if not self.core_ids:
+            raise ConfigurationError("a defect must affect at least one core")
+        if self.sdc_type is SDCType.COMPUTATION:
+            if not self.instructions or not self.datatypes:
+                raise ConfigurationError(
+                    "computation defects need instructions and datatypes"
+                )
+            if self.bitflip is None:
+                raise ConfigurationError("computation defects need a bitflip model")
+        else:
+            if self.instructions:
+                raise ConfigurationError(
+                    "consistency defects are not tied to instructions"
+                )
+
+    @property
+    def sdc_type(self) -> SDCType:
+        return sdc_type_of(self.features[0])
+
+    @property
+    def is_consistency(self) -> bool:
+        return bool(set(self.features) & CONSISTENCY_FEATURES)
+
+    @property
+    def affected_cores(self) -> FrozenSet[int]:
+        return frozenset(self.core_ids)
+
+    def affects_core(self, pcore_id: int) -> bool:
+        return pcore_id in self.affected_cores
+
+    def affects_instruction(self, mnemonic: str) -> bool:
+        return mnemonic in self.instructions
+
+    def core_multiplier(self, pcore_id: int) -> float:
+        """Relative occurrence-frequency multiplier for a core."""
+        if not self.affects_core(pcore_id):
+            return 0.0
+        return self.core_multipliers.get(pcore_id, 1.0)
+
+    def active_at(self, age_days: float) -> bool:
+        """Whether the defect has onset by a given processor age."""
+        return age_days >= self.onset_days

@@ -1,0 +1,201 @@
+"""Processor features and operation data types.
+
+The paper identifies five *vulnerable features* (Observation 5):
+arithmetic-logic computation, vector operations, floating-point
+calculation, cache coherency, and transactional memory.  Testcases,
+defects, and workloads are all tagged with the features they exercise,
+and SDCs are classified as *computation* or *consistency* type by the
+feature they arise from (§4.1).
+
+The affected-operation data types of Table 3 / Figure 3 are modelled by
+:class:`DataType`, including the 80-bit extended-precision format the
+paper calls ``float64x``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Mapping, Tuple
+
+__all__ = [
+    "Feature",
+    "SDCType",
+    "DataType",
+    "VULNERABLE_FEATURES",
+    "COMPUTATION_FEATURES",
+    "CONSISTENCY_FEATURES",
+    "FEATURE_DATATYPES",
+    "sdc_type_of",
+]
+
+
+class Feature(enum.Enum):
+    """A micro-architectural feature a testcase / defect / workload targets."""
+
+    ALU = "alu"
+    VECTOR = "vector"
+    FPU = "fpu"
+    CACHE = "cache"
+    TRX_MEM = "trx_mem"
+    # Features exercised by the toolchain but never observed defective in
+    # the study; they exist so the 633-testcase library covers more than
+    # the vulnerable set (Observation 11 depends on most testcases
+    # finding nothing).
+    BRANCH = "branch"
+    MEMORY = "memory"
+    CRYPTO = "crypto"
+    INTERCONNECT = "interconnect"
+    PREFETCH = "prefetch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The five features Observation 5 names as vulnerable.
+VULNERABLE_FEATURES: FrozenSet[Feature] = frozenset(
+    {Feature.ALU, Feature.VECTOR, Feature.FPU, Feature.CACHE, Feature.TRX_MEM}
+)
+
+#: Defective arithmetic => "computation" SDCs (§4.1).
+COMPUTATION_FEATURES: FrozenSet[Feature] = frozenset(
+    {Feature.ALU, Feature.VECTOR, Feature.FPU}
+)
+
+#: Defective consistency guarantees => "consistency" SDCs (§4.1).
+CONSISTENCY_FEATURES: FrozenSet[Feature] = frozenset(
+    {Feature.CACHE, Feature.TRX_MEM}
+)
+
+
+class SDCType(enum.Enum):
+    """The paper's two SDC categories (§4.1)."""
+
+    COMPUTATION = "computation"
+    CONSISTENCY = "consistency"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def sdc_type_of(feature: Feature) -> SDCType:
+    """Classify a feature into the paper's computation/consistency split.
+
+    Raises :class:`ValueError` for features that were never observed
+    defective (they have no SDC classification in the paper).
+    """
+    if feature in COMPUTATION_FEATURES:
+        return SDCType.COMPUTATION
+    if feature in CONSISTENCY_FEATURES:
+        return SDCType.CONSISTENCY
+    raise ValueError(f"feature {feature} has no SDC classification")
+
+
+class DataType(enum.Enum):
+    """An operation data type, as listed in Table 3 and Figure 3.
+
+    ``BIN*`` types are *non-numerical* raw-bit payloads (checksums, hash
+    digests, packed strings); Figure 5 shows their bitflips are roughly
+    uniform across positions, unlike the numeric types of Figure 4.
+    """
+
+    INT16 = "i16"
+    INT32 = "i32"
+    UINT32 = "ui32"
+    FLOAT32 = "f32"
+    FLOAT64 = "f64"
+    FLOAT64X = "f64x"  # 80-bit x87 extended precision
+    BIT = "bit"
+    BYTE = "byte"
+    BIN8 = "bin8"
+    BIN16 = "bin16"
+    BIN32 = "bin32"
+    BIN64 = "bin64"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def width(self) -> int:
+        """Bit width of the representation."""
+        return _WIDTHS[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DataType.FLOAT32, DataType.FLOAT64, DataType.FLOAT64X)
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DataType.INT16, DataType.INT32, DataType.UINT32)
+
+    @property
+    def is_signed(self) -> bool:
+        return self in (DataType.INT16, DataType.INT32) or self.is_float
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_float or self.is_integer
+
+    @property
+    def float_fields(self) -> Tuple[int, int]:
+        """(exponent_bits, fraction_bits) for float types.
+
+        For ``FLOAT64X`` the 64-bit significand includes the explicit
+        integer bit at position 63; the *fraction* is the low 63 bits.
+        """
+        if not self.is_float:
+            raise ValueError(f"{self} is not a floating-point type")
+        return _FLOAT_FIELDS[self]
+
+
+_WIDTHS: Mapping[DataType, int] = {
+    DataType.INT16: 16,
+    DataType.INT32: 32,
+    DataType.UINT32: 32,
+    DataType.FLOAT32: 32,
+    DataType.FLOAT64: 64,
+    DataType.FLOAT64X: 80,
+    DataType.BIT: 1,
+    DataType.BYTE: 8,
+    DataType.BIN8: 8,
+    DataType.BIN16: 16,
+    DataType.BIN32: 32,
+    DataType.BIN64: 64,
+}
+
+_FLOAT_FIELDS: Mapping[DataType, Tuple[int, int]] = {
+    DataType.FLOAT32: (8, 23),
+    DataType.FLOAT64: (11, 52),
+    DataType.FLOAT64X: (15, 63),
+}
+
+#: Which data types each computation feature operates on.  Used by the
+#: testcase library and by the defect generator: a defect in a feature
+#: can only corrupt the data types that feature touches (Table 3).
+FEATURE_DATATYPES: Mapping[Feature, Tuple[DataType, ...]] = {
+    Feature.ALU: (
+        DataType.INT16,
+        DataType.INT32,
+        DataType.UINT32,
+        DataType.BIT,
+        DataType.BYTE,
+        DataType.BIN16,
+        DataType.BIN32,
+        DataType.BIN64,
+    ),
+    Feature.VECTOR: (
+        DataType.INT32,
+        DataType.UINT32,
+        DataType.FLOAT32,
+        DataType.FLOAT64,
+        DataType.BIN32,
+        DataType.BIN64,
+    ),
+    Feature.FPU: (DataType.FLOAT32, DataType.FLOAT64, DataType.FLOAT64X),
+    Feature.CRYPTO: (DataType.BIN32, DataType.BIN64, DataType.BYTE),
+    Feature.MEMORY: (DataType.BIN64,),
+    Feature.BRANCH: (DataType.INT32,),
+    Feature.CACHE: (),
+    Feature.TRX_MEM: (),
+    Feature.INTERCONNECT: (),
+    Feature.PREFETCH: (),
+}

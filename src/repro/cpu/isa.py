@@ -1,0 +1,273 @@
+"""A small instruction set tagged by feature and data type.
+
+The vendor toolchain's testcases "simulate cloud workloads ... Most
+testcases focus on individual processor features" (§2.3).  To let
+testcases and workloads *execute* against a simulated CPU, we define an
+ISA where every instruction carries:
+
+* the micro-architectural features it exercises (a fused vector FMA
+  exercises both ``VECTOR`` and ``FPU``, which is how a single defect in
+  MIX1 corrupts both vector and complicated floating-point work, §4.1);
+* the result data type, for bitflip analysis;
+* a pure-Python semantic function producing the architecturally correct
+  result;
+* a relative heat weight, feeding the thermal model (complex operations
+  such as transcendentals burn more power, §5's instruction-usage-stress
+  discussion).
+
+Integer semantics wrap modulo 2^width like real hardware, so results
+always re-encode exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from .features import DataType, Feature
+
+__all__ = ["Instruction", "ISA", "DEFAULT_ISA"]
+
+
+def _wrap_signed(value: int, width: int) -> int:
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def _wrap_unsigned(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _clamp_float(value: float, dtype: DataType) -> float:
+    """Round a float through its storage format (f32 stores round-trip)."""
+    if dtype is DataType.FLOAT32:
+        import struct
+
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    return value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction of the simulated ISA."""
+
+    mnemonic: str
+    features: Tuple[Feature, ...]
+    dtype: DataType
+    arity: int
+    semantics: Callable
+    #: Relative dynamic power of one execution (thermal model input).
+    heat: float = 1.0
+    #: True for operations the paper calls "complex" (e.g. arctangent),
+    #: which are disproportionately implicated in FPU defects.
+    complex_op: bool = False
+
+    def execute(self, *operands):
+        """Compute the architecturally correct result."""
+        if len(operands) != self.arity:
+            raise ConfigurationError(
+                f"{self.mnemonic} takes {self.arity} operands, got {len(operands)}"
+            )
+        return self.semantics(*operands)
+
+
+@dataclass
+class ISA:
+    """A registry of instructions, queryable by mnemonic or feature."""
+
+    instructions: Dict[str, Instruction] = field(default_factory=dict)
+
+    def register(self, instruction: Instruction) -> Instruction:
+        if instruction.mnemonic in self.instructions:
+            raise ConfigurationError(
+                f"duplicate instruction {instruction.mnemonic}"
+            )
+        self.instructions[instruction.mnemonic] = instruction
+        return instruction
+
+    def __getitem__(self, mnemonic: str) -> Instruction:
+        try:
+            return self.instructions[mnemonic]
+        except KeyError:
+            raise ConfigurationError(f"unknown instruction {mnemonic!r}") from None
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self.instructions
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def by_feature(self, feature: Feature) -> List[Instruction]:
+        """All instructions exercising a feature, in registration order."""
+        return [
+            inst
+            for inst in self.instructions.values()
+            if feature in inst.features
+        ]
+
+    def mnemonics(self) -> List[str]:
+        return list(self.instructions)
+
+
+def _build_default_isa() -> ISA:
+    isa = ISA()
+
+    def reg(mnemonic, features, dtype, arity, fn, heat=1.0, complex_op=False):
+        isa.register(
+            Instruction(mnemonic, tuple(features), dtype, arity, fn, heat, complex_op)
+        )
+
+    # --- ALU: scalar integer / logic -------------------------------------
+    reg("ADD_I32", [Feature.ALU], DataType.INT32, 2,
+        lambda a, b: _wrap_signed(a + b, 32))
+    reg("SUB_I32", [Feature.ALU], DataType.INT32, 2,
+        lambda a, b: _wrap_signed(a - b, 32))
+    reg("MUL_I16", [Feature.ALU], DataType.INT16, 2,
+        lambda a, b: _wrap_signed(a * b, 16), heat=1.3)
+    reg("MUL_U32", [Feature.ALU], DataType.UINT32, 2,
+        lambda a, b: _wrap_unsigned(a * b, 32), heat=1.3)
+    reg("AND_B64", [Feature.ALU], DataType.BIN64, 2, lambda a, b: a & b, heat=0.6)
+    reg("OR_B64", [Feature.ALU], DataType.BIN64, 2, lambda a, b: a | b, heat=0.6)
+    reg("XOR_B64", [Feature.ALU], DataType.BIN64, 2, lambda a, b: a ^ b, heat=0.6)
+    reg("SHL_U32", [Feature.ALU], DataType.UINT32, 2,
+        lambda a, s: _wrap_unsigned(a << (s & 31), 32), heat=0.7)
+    reg("SHR_U32", [Feature.ALU], DataType.UINT32, 2,
+        lambda a, s: (a & 0xFFFFFFFF) >> (s & 31), heat=0.7)
+    reg("POPCNT_B64", [Feature.ALU], DataType.BYTE, 1,
+        lambda a: bin(a & ((1 << 64) - 1)).count("1"), heat=0.8)
+    reg("ROTL_B32", [Feature.ALU], DataType.BIN32, 2,
+        lambda a, s: _wrap_unsigned((a << (s & 31)) | ((a & 0xFFFFFFFF) >> (32 - (s & 31 or 32))), 32),
+        heat=0.7)
+    reg("ADC_B64", [Feature.ALU], DataType.BIN64, 3,
+        lambda a, b, c: _wrap_unsigned(a + b + (c & 1), 64), heat=1.1)
+    reg("CMP_BIT", [Feature.ALU], DataType.BIT, 2, lambda a, b: int(a == b), heat=0.5)
+
+    # --- VECTOR: packed operations (semantics modelled per lane-0) -------
+    reg("VADD_F32", [Feature.VECTOR, Feature.FPU], DataType.FLOAT32, 2,
+        lambda a, b: _clamp_float(a + b, DataType.FLOAT32), heat=1.6)
+    reg("VMUL_F64", [Feature.VECTOR, Feature.FPU], DataType.FLOAT64, 2,
+        lambda a, b: a * b, heat=1.8)
+    # The SIMD1 suspect: "a vector instruction that performs
+    # multiplication and addition operations simultaneously" (§4.1).
+    reg("VFMA_F32", [Feature.VECTOR, Feature.FPU], DataType.FLOAT32, 3,
+        lambda a, b, c: _clamp_float(a * b + c, DataType.FLOAT32),
+        heat=2.2, complex_op=True)
+    reg("VFMA_F64", [Feature.VECTOR, Feature.FPU], DataType.FLOAT64, 3,
+        lambda a, b, c: a * b + c, heat=2.4, complex_op=True)
+    reg("VADD_I32", [Feature.VECTOR], DataType.INT32, 2,
+        lambda a, b: _wrap_signed(a + b, 32), heat=1.4)
+    reg("VMULL_U32", [Feature.VECTOR], DataType.UINT32, 2,
+        lambda a, b: _wrap_unsigned(a * b, 32), heat=1.5)
+    reg("VXOR_B64", [Feature.VECTOR], DataType.BIN64, 2, lambda a, b: a ^ b, heat=1.0)
+    reg("VSHUF_B32", [Feature.VECTOR], DataType.BIN32, 2,
+        lambda a, sel: _shuffle_bytes(a, sel), heat=1.2)
+    reg("VGF2P8_B64", [Feature.VECTOR], DataType.BIN64, 2,
+        lambda a, b: _carryless_mul(a, b), heat=1.7)
+
+    # --- FPU: scalar floating point ---------------------------------------
+    reg("FADD_F64", [Feature.FPU], DataType.FLOAT64, 2, lambda a, b: a + b, heat=1.2)
+    reg("FSUB_F64", [Feature.FPU], DataType.FLOAT64, 2, lambda a, b: a - b, heat=1.2)
+    reg("FMUL_F64", [Feature.FPU], DataType.FLOAT64, 2, lambda a, b: a * b, heat=1.5)
+    reg("FDIV_F32", [Feature.FPU], DataType.FLOAT32, 2,
+        lambda a, b: _clamp_float(a / b if b else math.inf, DataType.FLOAT32),
+        heat=2.0)
+    reg("FSQRT_F64", [Feature.FPU], DataType.FLOAT64, 1,
+        lambda a: math.sqrt(abs(a)), heat=2.0)
+    # The FPU1/FPU2 suspect: extended-precision arctangent (§4.1).
+    reg("FATAN_F64X", [Feature.FPU], DataType.FLOAT64X, 1,
+        math.atan, heat=2.6, complex_op=True)
+    reg("FSIN_F64", [Feature.FPU], DataType.FLOAT64, 1, math.sin,
+        heat=2.4, complex_op=True)
+    reg("FEXP_F64", [Feature.FPU], DataType.FLOAT64, 1,
+        lambda a: math.exp(min(a, 700.0)), heat=2.4, complex_op=True)
+    reg("FLOG_F64X", [Feature.FPU], DataType.FLOAT64X, 1,
+        lambda a: math.log(abs(a)) if a else -math.inf, heat=2.5, complex_op=True)
+    reg("F2XM1_F64X", [Feature.FPU], DataType.FLOAT64X, 1,
+        lambda a: 2.0 ** max(min(a, 1.0), -1.0) - 1.0, heat=2.5, complex_op=True)
+
+    # --- CRYPTO / checksum accelerators -----------------------------------
+    reg("CRC32_B32", [Feature.CRYPTO, Feature.ALU], DataType.BIN32, 2,
+        lambda crc, byte: _crc32_step(crc, byte), heat=1.1)
+    reg("AESENC_B64", [Feature.CRYPTO], DataType.BIN64, 2,
+        lambda a, k: _mix64(a, k), heat=1.6)
+    reg("SHAROUND_B64", [Feature.CRYPTO], DataType.BIN64, 2,
+        lambda a, b: _mix64(_mix64(a, b), 0x9E3779B97F4A7C15), heat=1.6)
+
+    reg("CRC8_B8", [Feature.CRYPTO, Feature.ALU], DataType.BIN8, 2,
+        lambda crc, byte: _crc8_step(crc, byte), heat=0.9)
+    reg("PACK_B16", [Feature.ALU], DataType.BIN16, 2,
+        lambda hi, lo: (((hi & 0xFF) << 8) | (lo & 0xFF)), heat=0.6)
+
+    # --- Memory / branch / prefetch (coverage features) -------------------
+    reg("MOV_B64", [Feature.MEMORY], DataType.BIN64, 1, lambda a: a, heat=0.4)
+    reg("LOADSTREAM_B64", [Feature.MEMORY, Feature.PREFETCH], DataType.BIN64, 1,
+        lambda a: a, heat=0.5)
+    reg("BRTAKEN_I32", [Feature.BRANCH], DataType.INT32, 2,
+        lambda a, b: 1 if a < b else 0, heat=0.5)
+    reg("XCHG_B64", [Feature.INTERCONNECT, Feature.CACHE], DataType.BIN64, 1,
+        lambda a: a, heat=0.9)
+
+    return isa
+
+
+def _shuffle_bytes(value: int, selector: int) -> int:
+    """Byte shuffle of a 32-bit lane, PSHUFB-style."""
+    value &= 0xFFFFFFFF
+    out = 0
+    for i in range(4):
+        src = (selector >> (2 * i)) & 0x3
+        byte = (value >> (8 * src)) & 0xFF
+        out |= byte << (8 * i)
+    return out
+
+
+def _carryless_mul(a: int, b: int) -> int:
+    """Carry-less (GF(2)) multiplication truncated to 64 bits."""
+    a &= (1 << 64) - 1
+    b &= (1 << 64) - 1
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a = (a << 1) & ((1 << 64) - 1)
+        b >>= 1
+    return out
+
+
+_CRC32_POLY = 0xEDB88320
+
+
+def _crc32_step(crc: int, byte: int) -> int:
+    """One byte of reflected CRC-32 (the hardware CRC32 instruction)."""
+    crc = (crc ^ (byte & 0xFF)) & 0xFFFFFFFF
+    for _ in range(8):
+        crc = (crc >> 1) ^ (_CRC32_POLY if crc & 1 else 0)
+    return crc
+
+
+_CRC8_POLY = 0x07
+
+
+def _crc8_step(crc: int, byte: int) -> int:
+    """One byte of CRC-8 (SMBus polynomial)."""
+    crc = (crc ^ (byte & 0xFF)) & 0xFF
+    for _ in range(8):
+        crc = ((crc << 1) ^ _CRC8_POLY) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+def _mix64(a: int, b: int) -> int:
+    """A 64-bit mixing round (stand-in for AES/SHA round functions)."""
+    x = (a ^ b) & ((1 << 64) - 1)
+    x = (x * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & ((1 << 64) - 1)
+    return (x ^ (x >> 31)) & ((1 << 64) - 1)
+
+
+#: The ISA every simulated processor in the study implements.
+DEFAULT_ISA = _build_default_isa()

@@ -1,0 +1,171 @@
+"""A transactional-memory simulator with injectable atomicity defects.
+
+CNST1 and CNST2 in Table 3 "fail to guarantee the consistency in ...
+transactional memory".  The observable corruption of a TM defect is a
+*torn transaction*: a commit that should be all-or-nothing applies only
+part of its write set, so invariants spanning multiple locations break
+(the paper suspects "instructions responsible for managing the
+transactional region" for CNST2, §4.1).
+
+The simulator implements lazy-versioning, eager-conflict-detection
+transactions over a shared store.  Healthy behaviour is strictly
+serializable for the interleavings the test harness produces; all
+anomalies come from the injected partial-commit hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError, TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cpu.defects import Defect
+    from ..faults.trigger import TriggerModel
+
+__all__ = [
+    "TornCommit",
+    "Transaction",
+    "TransactionalMemory",
+    "tear_hook_from_defect",
+]
+
+#: Hook deciding whether a commit is torn.  Argument: the committing core.
+TearHook = Callable[[int], bool]
+
+
+@dataclass(frozen=True)
+class TornCommit:
+    """A detected TM violation: a commit applied only part of its writes."""
+
+    core_id: int
+    applied: Dict[int, int]
+    dropped: Dict[int, int]
+
+
+@dataclass
+class Transaction:
+    """An open transaction: buffered writes plus a read-version snapshot."""
+
+    core_id: int
+    read_set: Dict[int, int] = field(default_factory=dict)
+    write_set: Dict[int, int] = field(default_factory=dict)
+    active: bool = True
+
+
+@dataclass
+class TransactionalMemory:
+    """Shared store with transactional access from multiple cores."""
+
+    tear_hook: Optional[TearHook] = None
+    store: Dict[int, int] = field(default_factory=dict)
+    #: Version per address, bumped on every committed write; used for
+    #: conflict detection.
+    versions: Dict[int, int] = field(default_factory=dict)
+    violations: List[TornCommit] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._open: Dict[int, Transaction] = {}
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def begin(self, core_id: int) -> Transaction:
+        """Open a transaction on a core (one at a time per core)."""
+        if core_id in self._open:
+            raise TransactionError(f"core {core_id} already has an open transaction")
+        txn = Transaction(core_id=core_id)
+        self._open[core_id] = txn
+        return txn
+
+    def _require(self, core_id: int) -> Transaction:
+        txn = self._open.get(core_id)
+        if txn is None or not txn.active:
+            raise TransactionError(f"core {core_id} has no open transaction")
+        return txn
+
+    def read(self, core_id: int, address: int, default: int = 0) -> int:
+        """Transactional load; records the observed version."""
+        txn = self._require(core_id)
+        if address in txn.write_set:
+            return txn.write_set[address]
+        txn.read_set[address] = self.versions.get(address, 0)
+        return self.store.get(address, default)
+
+    def write(self, core_id: int, address: int, value: int) -> None:
+        """Transactional store, buffered until commit."""
+        txn = self._require(core_id)
+        txn.write_set[address] = value
+
+    def abort(self, core_id: int) -> None:
+        """Discard a transaction's buffered writes."""
+        txn = self._require(core_id)
+        txn.active = False
+        del self._open[core_id]
+
+    def commit(self, core_id: int) -> bool:
+        """Attempt to commit; returns False (clean abort) on conflict.
+
+        On a healthy processor the commit is atomic.  With an injected
+        tear, a strict non-empty subset of the write set is applied and
+        the rest silently dropped — the transaction still *reports*
+        success, which is what makes the corruption silent.
+        """
+        txn = self._require(core_id)
+        for address, seen_version in txn.read_set.items():
+            if self.versions.get(address, 0) != seen_version:
+                self.abort(core_id)
+                return False
+        writes = dict(txn.write_set)
+        torn = (
+            self.tear_hook is not None
+            and len(writes) >= 2
+            and self.tear_hook(core_id)
+        )
+        if torn:
+            addresses = sorted(writes)
+            keep: Set[int] = set(addresses[: max(1, len(addresses) // 2)])
+            applied = {a: v for a, v in writes.items() if a in keep}
+            dropped = {a: v for a, v in writes.items() if a not in keep}
+            self.violations.append(TornCommit(core_id, applied, dropped))
+            writes = applied
+        for address, value in writes.items():
+            self.store[address] = value
+            self.versions[address] = self.versions.get(address, 0) + 1
+        txn.active = False
+        del self._open[core_id]
+        return True
+
+    # -- non-transactional access (for checkers) -------------------------------
+
+    def peek(self, address: int, default: int = 0) -> int:
+        """Direct store read, outside any transaction."""
+        return self.store.get(address, default)
+
+
+def tear_hook_from_defect(
+    defect: "Defect",
+    trigger: "TriggerModel",
+    setting_key: str,
+    temperature_c: float,
+    commits_per_s: float,
+    rng: np.random.Generator,
+    time_compression: float = 1.0,
+) -> TearHook:
+    """Build a commit-tear hook from a consistency defect's trigger law."""
+    if not defect.is_consistency:
+        raise ConfigurationError(
+            f"defect {defect.defect_id} is not a consistency defect"
+        )
+
+    def hook(core_id: int) -> bool:
+        probability = time_compression * trigger.per_execution_probability(
+            defect, setting_key, temperature_c, commits_per_s, core_id
+        )
+        return probability > 0.0 and rng.random() < probability
+
+    return hook

@@ -1,0 +1,59 @@
+"""Fault-tolerance techniques the paper critiques (§6.2), implemented."""
+
+from .crc import crc16, crc32, verify_crc32
+from .gf256 import gf_add, gf_div, gf_inv, gf_matrix_invert, gf_mul, gf_pow
+from .erasure import ReedSolomon
+from .ecc import DecodeResult, DecodeStatus, Secded64
+from .redundancy import RedundantResult, VoteStatus, redundant_execute
+from .prediction import PredictionOutcome, RangePredictor
+from .ancode import ANCode, ANCodeReport, an_code_experiment
+from .locationaware import GuardReport, LocationAwareGuard, guard_experiment
+from .evaluate import (
+    ChecksumTimingReport,
+    FaultyEncoderReport,
+    erasure_faulty_encoder_experiment,
+    EccReport,
+    ErasurePropagationReport,
+    PredictionReport,
+    checksum_timing_experiment,
+    ecc_multibit_experiment,
+    erasure_propagation_experiment,
+    prediction_experiment,
+)
+
+__all__ = [
+    "ANCode",
+    "ANCodeReport",
+    "an_code_experiment",
+    "GuardReport",
+    "LocationAwareGuard",
+    "guard_experiment",
+    "crc16",
+    "crc32",
+    "verify_crc32",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_matrix_invert",
+    "gf_mul",
+    "gf_pow",
+    "ReedSolomon",
+    "DecodeResult",
+    "DecodeStatus",
+    "Secded64",
+    "RedundantResult",
+    "VoteStatus",
+    "redundant_execute",
+    "PredictionOutcome",
+    "RangePredictor",
+    "ChecksumTimingReport",
+    "FaultyEncoderReport",
+    "erasure_faulty_encoder_experiment",
+    "EccReport",
+    "ErasurePropagationReport",
+    "PredictionReport",
+    "checksum_timing_experiment",
+    "ecc_multibit_experiment",
+    "erasure_propagation_experiment",
+    "prediction_experiment",
+]

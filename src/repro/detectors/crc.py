@@ -1,0 +1,59 @@
+"""Software CRC-32 / CRC-16 checksums (table-driven).
+
+End-to-end checksums are the workhorse integrity mechanism §6.2
+examines.  These implementations are the *detector-side* reference: the
+workload-side CRC runs on the simulated CPU (and can itself be
+corrupted, §6.2's "some of these checksum algorithms engage vulnerable
+features heavily"), while this module computes architecturally correct
+digests for verification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+__all__ = ["crc32", "crc16", "verify_crc32"]
+
+_CRC32_POLY = 0xEDB88320
+_CRC16_POLY = 0xA001  # reflected CRC-16/ARC
+
+
+def _build_table(poly: int, width_mask: int) -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table.append(crc & width_mask)
+    return table
+
+
+_CRC32_TABLE = _build_table(_CRC32_POLY, 0xFFFFFFFF)
+_CRC16_TABLE = _build_table(_CRC16_POLY, 0xFFFF)
+
+
+def _as_bytes(data: Union[bytes, Sequence[int]]) -> bytes:
+    if isinstance(data, (bytes, bytearray)):
+        return bytes(data)
+    return bytes(b & 0xFF for b in data)
+
+
+def crc32(data: Union[bytes, Sequence[int]]) -> int:
+    """Standard reflected CRC-32 (matches :func:`zlib.crc32`)."""
+    crc = 0xFFFFFFFF
+    for byte in _as_bytes(data):
+        crc = (crc >> 8) ^ _CRC32_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def crc16(data: Union[bytes, Sequence[int]]) -> int:
+    """CRC-16/ARC."""
+    crc = 0x0000
+    for byte in _as_bytes(data):
+        crc = (crc >> 8) ^ _CRC16_TABLE[(crc ^ byte) & 0xFF]
+    return crc
+
+
+def verify_crc32(data: Union[bytes, Sequence[int]], digest: int) -> bool:
+    """Whether a stored digest matches the data."""
+    return crc32(data) == digest

@@ -1,0 +1,114 @@
+"""Reed-Solomon erasure coding over GF(256).
+
+Systematic RS(k+m, k) with a Cauchy parity matrix: ``k`` data shards
+plus ``m`` parity shards; any ``k`` shards reconstruct the data (every
+square submatrix of a Cauchy matrix is nonsingular, so mixing surviving
+data rows — identity — with parity rows always yields an invertible
+system, unlike the naive identity-stacked Vandermonde construction).  §6.2's critique
+is reproduced by the evaluation harness: EC *recovers erasures* but
+does not *detect corruption*, and "a corrupted data block may be used
+to construct a lost data block, causing the corruption to propagate".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .gf256 import gf_inv, gf_matrix_invert, gf_matrix_vector
+
+__all__ = ["ReedSolomon"]
+
+
+@dataclass(frozen=True)
+class ReedSolomon:
+    """A systematic RS code with ``k`` data and ``m`` parity shards."""
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.m <= 0:
+            raise ConfigurationError("k and m must be positive")
+        if self.k + self.m > 255:
+            raise ConfigurationError("k + m must be at most 255")
+
+    # -- the generator ------------------------------------------------------
+
+    def _parity_rows(self) -> List[List[int]]:
+        """Cauchy rows mapping data shards to parity shards.
+
+        Row ``i``, column ``j`` is ``1 / (x_i ^ y_j)`` with
+        ``x_i = k + i`` and ``y_j = j`` all distinct, so every square
+        submatrix is invertible.
+        """
+        return [
+            [gf_inv((self.k + row) ^ col) for col in range(self.k)]
+            for row in range(self.m)
+        ]
+
+    # -- encode ---------------------------------------------------------------
+
+    def encode(self, data_shards: Sequence[bytes]) -> List[bytes]:
+        """Compute the ``m`` parity shards for ``k`` data shards."""
+        if len(data_shards) != self.k:
+            raise ConfigurationError(
+                f"expected {self.k} data shards, got {len(data_shards)}"
+            )
+        lengths = {len(shard) for shard in data_shards}
+        if len(lengths) != 1:
+            raise ConfigurationError("data shards must have equal length")
+        (shard_len,) = lengths
+        rows = self._parity_rows()
+        parity = [bytearray(shard_len) for _ in range(self.m)]
+        for offset in range(shard_len):
+            column = [shard[offset] for shard in data_shards]
+            for row_index, row in enumerate(rows):
+                parity[row_index][offset] = gf_matrix_vector([row], column)[0]
+        return [bytes(p) for p in parity]
+
+    # -- decode ---------------------------------------------------------------
+
+    def reconstruct(
+        self, shards: Dict[int, bytes], shard_len: int
+    ) -> List[bytes]:
+        """Rebuild all k data shards from any k surviving shards.
+
+        ``shards`` maps shard index (0..k-1 data, k..k+m-1 parity) to
+        content.  Raises if fewer than k shards survive.
+        """
+        if len(shards) < self.k:
+            raise ConfigurationError(
+                f"need at least {self.k} shards, got {len(shards)}"
+            )
+        for index in shards:
+            if not 0 <= index < self.k + self.m:
+                raise ConfigurationError(f"shard index {index} out of range")
+        chosen = sorted(shards)[: self.k]
+        parity_rows = self._parity_rows()
+        matrix: List[List[int]] = []
+        for index in chosen:
+            if index < self.k:
+                matrix.append(
+                    [1 if col == index else 0 for col in range(self.k)]
+                )
+            else:
+                matrix.append(parity_rows[index - self.k])
+        inverse = gf_matrix_invert(matrix)
+        data = [bytearray(shard_len) for _ in range(self.k)]
+        for offset in range(shard_len):
+            column = [shards[index][offset] for index in chosen]
+            recovered = gf_matrix_vector(inverse, column)
+            for shard_index in range(self.k):
+                data[shard_index][offset] = recovered[shard_index]
+        return [bytes(d) for d in data]
+
+    def verify(self, data_shards: Sequence[bytes], parity_shards: Sequence[bytes]) -> bool:
+        """Whether stored parity matches recomputed parity.
+
+        Note the §6.2 caveat this library exists to demonstrate: if the
+        corruption happened *before* parity was computed, verify() holds
+        even though the data is wrong.
+        """
+        return list(self.encode(data_shards)) == list(parity_shards)

@@ -1,0 +1,141 @@
+"""GF(2^8) arithmetic, the substrate for Reed-Solomon erasure coding.
+
+§6.2 discusses erasure coding (EC) as a fault-tolerance technique that
+"is primarily used to recover lost data, but not used to detect
+corrupted data" — and whose vectorized encoders themselves lean on the
+vulnerable vector feature.  The field implementation here is the
+classic log/antilog-table construction over the AES polynomial
+``x^8 + x^4 + x^3 + x + 1`` (0x11B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "GF_POLY",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_pow",
+    "gf_inv",
+    "gf_dot",
+    "gf_matrix_vector",
+    "gf_matrix_invert",
+]
+
+GF_POLY = 0x11B
+_FIELD = 256
+
+_EXP: List[int] = [0] * (2 * _FIELD)
+_LOG: List[int] = [0] * _FIELD
+
+
+def _build_tables() -> None:
+    # Generator 3 (0x03): 2 is NOT primitive modulo 0x11B (its
+    # multiplicative order is 51), so the classic shift-only loop would
+    # build inconsistent tables.
+    value = 1
+    for power in range(_FIELD - 1):
+        _EXP[power] = value
+        _LOG[value] = power
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= GF_POLY
+        value = doubled ^ value  # value *= 3
+    for power in range(_FIELD - 1, 2 * _FIELD):
+        _EXP[power] = _EXP[power - (_FIELD - 1)]
+
+
+_build_tables()
+
+
+def _check(value: int) -> int:
+    if not 0 <= value < _FIELD:
+        raise ConfigurationError(f"{value} is not a GF(256) element")
+    return value
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition == subtraction == XOR in characteristic 2."""
+    return _check(a) ^ _check(b)
+
+
+def gf_mul(a: int, b: int) -> int:
+    _check(a)
+    _check(b)
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    _check(a)
+    _check(b)
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % (_FIELD - 1)]
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    _check(base)
+    if exponent == 0:
+        return 1
+    if base == 0:
+        return 0
+    return _EXP[(_LOG[base] * exponent) % (_FIELD - 1)]
+
+
+def gf_inv(a: int) -> int:
+    return gf_div(1, a)
+
+
+def gf_dot(row: Sequence[int], column: Sequence[int]) -> int:
+    if len(row) != len(column):
+        raise ConfigurationError("vector lengths differ")
+    out = 0
+    for a, b in zip(row, column):
+        out ^= gf_mul(a, b)
+    return out
+
+
+def gf_matrix_vector(
+    matrix: Sequence[Sequence[int]], vector: Sequence[int]
+) -> List[int]:
+    return [gf_dot(row, vector) for row in matrix]
+
+
+def gf_matrix_invert(matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Gauss-Jordan inversion over GF(256)."""
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ConfigurationError("matrix must be square")
+    augmented = [
+        list(row) + [1 if i == j else 0 for j in range(n)]
+        for i, row in enumerate(matrix)
+    ]
+    for col in range(n):
+        pivot_row = next(
+            (r for r in range(col, n) if augmented[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ConfigurationError("matrix is singular over GF(256)")
+        augmented[col], augmented[pivot_row] = (
+            augmented[pivot_row],
+            augmented[col],
+        )
+        pivot = augmented[col][col]
+        inv_pivot = gf_inv(pivot)
+        augmented[col] = [gf_mul(x, inv_pivot) for x in augmented[col]]
+        for row in range(n):
+            if row != col and augmented[row][col] != 0:
+                factor = augmented[row][col]
+                augmented[row] = [
+                    x ^ gf_mul(factor, y)
+                    for x, y in zip(augmented[row], augmented[col])
+                ]
+    return [row[n:] for row in augmented]

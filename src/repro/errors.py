@@ -1,0 +1,42 @@
+"""Exception hierarchy for the SDC-study reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class DataTypeError(ReproError):
+    """A value cannot be encoded/decoded under the requested data type."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent or impossible state."""
+
+
+class SchedulingError(ReproError):
+    """A test schedule could not be constructed or executed."""
+
+
+class DecommissionError(ReproError):
+    """An invalid core/processor decommission operation was requested."""
+
+
+class CoherenceError(SimulationError):
+    """The cache-coherence simulator detected a protocol violation that is
+    not attributable to an injected defect (i.e. a simulator bug)."""
+
+
+class TransactionError(SimulationError):
+    """A transactional-memory operation was used outside a transaction or
+    violated the simulator's usage contract."""

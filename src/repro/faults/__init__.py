@@ -1,0 +1,29 @@
+"""Fault realization: bitflip models, trigger law, injector."""
+
+from .bitflip import (
+    BitflipModel,
+    IIDBitflip,
+    PatternBitflip,
+    PositionBiasedBitflip,
+    UniformBitflip,
+    default_flip_count_probs,
+)
+from .trigger import SettingBehaviour, TriggerModel
+from .injector import CorruptionEvent, FaultInjector
+from .campaign import CampaignResult, InjectionCampaign, compare_failure_models
+
+__all__ = [
+    "BitflipModel",
+    "IIDBitflip",
+    "PatternBitflip",
+    "PositionBiasedBitflip",
+    "UniformBitflip",
+    "default_flip_count_probs",
+    "SettingBehaviour",
+    "TriggerModel",
+    "CorruptionEvent",
+    "FaultInjector",
+    "CampaignResult",
+    "InjectionCampaign",
+    "compare_failure_models",
+]

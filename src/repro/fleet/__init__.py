@@ -1,0 +1,39 @@
+"""Fleet simulation: population, topology, staged test pipeline, stats."""
+
+from .population import FleetPopulation, FleetSpec, OnsetMixture, generate_fleet
+from .machine import (
+    Cluster,
+    Datacenter,
+    FleetTopology,
+    Machine,
+    build_topology,
+)
+from .pipeline import (
+    Detection,
+    FleetStudyResult,
+    PipelineConfig,
+    StageConfig,
+    TestPipeline,
+)
+from .salvage import SalvageReport, salvage_study
+from . import stats
+
+__all__ = [
+    "FleetPopulation",
+    "FleetSpec",
+    "OnsetMixture",
+    "generate_fleet",
+    "Cluster",
+    "Datacenter",
+    "FleetTopology",
+    "Machine",
+    "build_topology",
+    "Detection",
+    "FleetStudyResult",
+    "PipelineConfig",
+    "StageConfig",
+    "TestPipeline",
+    "SalvageReport",
+    "salvage_study",
+    "stats",
+]

@@ -1,0 +1,287 @@
+"""The fleet test pipeline: factory → datacenter → re-install → regular.
+
+§2.4 / Figure 1: pre-production testing happens after factory delivery,
+after datacenter delivery, and after system re-installation; in
+production, machines are regularly tested in groups on a months-long
+cycle.  Every stage runs the whole toolchain with equal per-testcase
+durations (§2.4).
+
+Detection is computed from the same trigger law the record-level runner
+uses, closed-form instead of sampled per 10-second interval — a CPU's
+probability of failing a stage is ``1 − exp(−Σ expected errors)`` over
+its matching (testcase, core) settings — which is what makes a
+million-CPU, 32-month campaign tractable while remaining consistent
+with the detailed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import substream
+from ..cpu.defects import Defect
+from ..cpu.features import Feature
+from ..cpu.processor import Processor
+from ..faults.trigger import TriggerModel
+from ..testing.library import TestcaseLibrary
+from ..testing.testcase import ConsistencyKind, Testcase
+from .population import FleetPopulation
+
+__all__ = [
+    "StageConfig",
+    "PipelineConfig",
+    "Detection",
+    "FleetStudyResult",
+    "TestPipeline",
+]
+
+#: 32 months (§2.4: "we have conducted SDC testing ... over 32 months").
+STUDY_HORIZON_DAYS = 32 * 30.4
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """One test timing of Figure 1."""
+
+    name: str
+    time_days: float
+    per_testcase_s: float
+    #: Core temperature reached while testing (the toolchain's testcases
+    #: are stressful and run concurrently on all cores).
+    test_temp_c: float
+    #: Period for recurring stages (regular tests); None = one-shot.
+    recurring_days: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.per_testcase_s <= 0:
+            raise ConfigurationError("per_testcase_s must be positive")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """The default schedule, calibrated to §2.4/§7's descriptions."""
+
+    stages: Tuple[StageConfig, ...] = (
+        # Pre-production stages get "adequate" resources (§7.1).
+        StageConfig("factory", 0.0, per_testcase_s=600.0, test_temp_c=80.0),
+        StageConfig("datacenter", 21.0, per_testcase_s=300.0, test_temp_c=78.0),
+        StageConfig("reinstall", 45.0, per_testcase_s=600.0, test_temp_c=80.0),
+        # Regular tests: every 3 months, 1 minute per testcase — the
+        # 633-minute ≈ 10.55 h baseline round of §7.2.
+        StageConfig(
+            "regular", 95.0, per_testcase_s=60.0, test_temp_c=76.0,
+            recurring_days=90.0,
+        ),
+    )
+    horizon_days: float = STUDY_HORIZON_DAYS
+
+    def pre_production_stage_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.stages if s.recurring_days is None)
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One faulty CPU caught by the pipeline."""
+
+    processor_id: str
+    arch_name: str
+    stage_name: str
+    day: float
+    failing_testcase_ids: Tuple[str, ...]
+
+
+@dataclass
+class FleetStudyResult:
+    """Everything the 32-month campaign produced."""
+
+    population_total: int
+    arch_counts: Dict[str, int]
+    detections: List[Detection] = field(default_factory=list)
+    undetected_ids: List[str] = field(default_factory=list)
+
+    def detections_by_stage(self) -> Dict[str, List[Detection]]:
+        grouped: Dict[str, List[Detection]] = {}
+        for detection in self.detections:
+            grouped.setdefault(detection.stage_name, []).append(detection)
+        return grouped
+
+    def detections_by_arch(self) -> Dict[str, List[Detection]]:
+        grouped: Dict[str, List[Detection]] = {}
+        for detection in self.detections:
+            grouped.setdefault(detection.arch_name, []).append(detection)
+        return grouped
+
+    def failing_testcases(self) -> Set[str]:
+        """Union of testcases that ever detected an error (Obs. 11)."""
+        failing: Set[str] = set()
+        for detection in self.detections:
+            failing.update(detection.failing_testcase_ids)
+        return failing
+
+
+class TestPipeline:
+    """Runs the population through the staged test schedule."""
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(
+        self,
+        population: FleetPopulation,
+        library: TestcaseLibrary,
+        config: Optional[PipelineConfig] = None,
+        trigger_model: Optional[TriggerModel] = None,
+        seed: int = 11,
+    ):
+        self.population = population
+        self.library = library
+        self.config = config or PipelineConfig()
+        self.trigger = trigger_model or TriggerModel()
+        self._rng = substream(seed, "pipeline")
+
+    # -- matching settings ---------------------------------------------------
+
+    def _matching_settings(self, defect: Defect) -> List[Tuple[Testcase, float]]:
+        """(testcase, usage) pairs that can trigger a defect."""
+        matches: List[Tuple[Testcase, float]] = []
+        if defect.is_consistency:
+            wanted = (
+                ConsistencyKind.COHERENCE
+                if Feature.CACHE in defect.features
+                else ConsistencyKind.TXMEM
+            )
+            for testcase in self.library.consistency_testcases():
+                if testcase.consistency_kind is wanted or (
+                    len(defect.features) > 1
+                ):
+                    matches.append((testcase, testcase.consistency_ops_per_s))
+            return matches
+        for mnemonic in defect.instructions:
+            for testcase in self.library.using_instruction(mnemonic):
+                matches.append((testcase, testcase.usage_per_s(mnemonic)))
+        return matches
+
+    def _multiplier_sum(self, defect: Defect) -> float:
+        return sum(
+            defect.core_multiplier(core) for core in defect.core_ids
+        )
+
+    # -- stage detection probability -------------------------------------------
+
+    def expected_stage_errors(
+        self,
+        defect: Defect,
+        stage: StageConfig,
+        settings: Optional[List[Tuple[Testcase, float]]] = None,
+    ) -> Dict[str, float]:
+        """Per-testcase expected error counts for one stage execution."""
+        if settings is None:
+            settings = self._matching_settings(defect)
+        multiplier_sum = self._multiplier_sum(defect)
+        expectations: Dict[str, float] = {}
+        for testcase, usage in settings:
+            # core_multiplier is folded in via multiplier_sum; evaluate
+            # the law once on a unit-multiplier reference core.
+            reference_core = defect.core_ids[0]
+            reference_mult = defect.core_multiplier(reference_core)
+            if reference_mult == 0.0:
+                continue
+            freq = self.trigger.occurrence_frequency(
+                defect,
+                testcase.testcase_id,
+                stage.test_temp_c,
+                usage,
+                reference_core,
+            )
+            per_unit = freq / reference_mult
+            expected = per_unit * multiplier_sum * stage.per_testcase_s / 60.0
+            if expected > 0.0:
+                expectations[testcase.testcase_id] = (
+                    expectations.get(testcase.testcase_id, 0.0) + expected
+                )
+        return expectations
+
+    @staticmethod
+    def _detection_probability(expectations: Dict[str, float]) -> float:
+        total = sum(expectations.values())
+        return 1.0 - float(np.exp(-total))
+
+    def _sample_failing_testcases(
+        self, expectations: Dict[str, float]
+    ) -> Tuple[str, ...]:
+        """Which testcases fired, given that at least one did."""
+        failing = [
+            tc_id
+            for tc_id, expected in expectations.items()
+            if self._rng.random() < 1.0 - np.exp(-expected)
+        ]
+        if not failing and expectations:
+            failing = [max(expectations, key=expectations.get)]
+        return tuple(sorted(failing))
+
+    # -- the campaign -------------------------------------------------------------
+
+    def _stage_occurrences(self) -> List[Tuple[StageConfig, float]]:
+        occurrences: List[Tuple[StageConfig, float]] = []
+        for stage in self.config.stages:
+            if stage.recurring_days is None:
+                occurrences.append((stage, stage.time_days))
+            else:
+                day = stage.time_days
+                while day <= self.config.horizon_days:
+                    occurrences.append((stage, day))
+                    day += stage.recurring_days
+        occurrences.sort(key=lambda pair: pair[1])
+        return occurrences
+
+    def run(self) -> FleetStudyResult:
+        """Run every faulty CPU through the schedule until detection."""
+        result = FleetStudyResult(
+            population_total=self.population.total,
+            arch_counts=dict(self.population.arch_counts),
+        )
+        occurrences = self._stage_occurrences()
+        for processor in self.population.faulty:
+            detection = self._run_processor(processor, occurrences)
+            if detection is None:
+                result.undetected_ids.append(processor.processor_id)
+            else:
+                result.detections.append(detection)
+        return result
+
+    def _run_processor(
+        self,
+        processor: Processor,
+        occurrences: Sequence[Tuple[StageConfig, float]],
+    ) -> Optional[Detection]:
+        defect = processor.defects[0]
+        if defect.escapes_toolchain:
+            return None
+        settings = self._matching_settings(defect)
+        if not settings:
+            return None
+        # Expectation per stage config is time-invariant, so compute
+        # once per distinct stage and reuse across recurrences.
+        per_stage: Dict[str, Dict[str, float]] = {}
+        for stage, day in occurrences:
+            if not defect.active_at(day):
+                continue
+            expectations = per_stage.get(stage.name)
+            if expectations is None:
+                expectations = self.expected_stage_errors(defect, stage, settings)
+                per_stage[stage.name] = expectations
+            probability = self._detection_probability(expectations)
+            if probability > 0.0 and self._rng.random() < probability:
+                return Detection(
+                    processor_id=processor.processor_id,
+                    arch_name=processor.arch.name,
+                    stage_name=stage.name,
+                    day=day,
+                    failing_testcase_ids=self._sample_failing_testcases(
+                        expectations
+                    ),
+                )
+        return None

@@ -1,0 +1,271 @@
+"""Fleet population generation.
+
+The study covers "over one million CPUs from hundreds of clusters in 28
+data centers across 14 countries" (§1).  Healthy processors are only
+*counted* (there are ~999,640 of them and they never do anything
+interesting); faulty processors are fully instantiated with defects so
+the test pipeline can exercise them.
+
+Calibration:
+
+* per-architecture faulty *incidence* derives from Table 2's measured
+  failure rates, inflated by the escape fraction (§2.3's toolchain
+  false negatives — faulty CPUs that are never detected and therefore
+  never counted by the paper);
+* defect *onset times* follow a three-component mixture chosen so the
+  four test timings of Table 1 (factory / datacenter / re-install /
+  regular) each catch their share: present-at-birth defects, early
+  burn-in defects that develop during transport/assembly/installation,
+  and late-onset or intermittent defects that only regular testing can
+  catch;
+* trigger parameters follow the same Figure-9 law as the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import substream
+from ..units import from_permyriad
+from ..cpu.catalog import (
+    ARCHITECTURES,
+    FIG9_INTERCEPT,
+    FIG9_NOISE_SD,
+    FIG9_SLOPE,
+    PAPER_ARCH_FAILURE_RATES_PERMYRIAD,
+    _GENERATED_POOLS,
+    _defect,
+)
+from ..cpu.defects import Defect, DefectScope
+from ..cpu.features import Feature
+from ..cpu.isa import DEFAULT_ISA
+from ..cpu.processor import MicroArchitecture, Processor
+
+__all__ = ["OnsetMixture", "FleetSpec", "FleetPopulation", "generate_fleet"]
+
+
+@dataclass(frozen=True)
+class OnsetMixture:
+    """When defects become active, relative to factory delivery.
+
+    Weights are the mixture probabilities; the windows are in days.
+    Tuned so the four Table-1 timings split detections roughly
+    0.776 : 0.18 : 2.306 : 0.348 (factory : datacenter : re-install :
+    regular).
+    """
+
+    at_birth_weight: float = 0.215
+    #: Transit damage: defects that develop between factory shipment and
+    #: datacenter arrival — the small share datacenter-delivery testing
+    #: catches (Table 1: 0.18 of 3.61 permyriad).
+    transit_weight: float = 0.035
+    burn_in_weight: float = 0.62
+    late_weight: float = 0.13
+    transit_window_days: Tuple[float, float] = (1.0, 21.0)
+    #: Burn-in onsets develop during assembly/installation — after the
+    #: datacenter-delivery test (day 21) but before the re-installation
+    #: test (day 45), which is why re-installation catches the largest
+    #: share in Table 1.
+    burn_in_window_days: Tuple[float, float] = (22.0, 45.0)
+    #: Late onsets appear during the 32-month production horizon.
+    late_window_days: Tuple[float, float] = (50.0, 900.0)
+
+    def __post_init__(self) -> None:
+        total = (
+            self.at_birth_weight
+            + self.transit_weight
+            + self.burn_in_weight
+            + self.late_weight
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError("onset mixture weights must sum to 1")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        if u < self.at_birth_weight:
+            return 0.0
+        u -= self.at_birth_weight
+        if u < self.transit_weight:
+            low, high = self.transit_window_days
+        elif u < self.transit_weight + self.burn_in_weight:
+            low, high = self.burn_in_window_days
+        else:
+            low, high = self.late_window_days
+        return float(rng.uniform(low, high))
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Parameters of the generated fleet."""
+
+    total_processors: int = 1_000_000
+    #: Fraction of the fleet per architecture (defaults to uniform-ish
+    #: shares; companies buy in batches so shares differ).
+    arch_shares: Optional[Dict[str, float]] = None
+    #: Fraction of faulty CPUs whose defect escapes the toolchain
+    #: entirely (§2.3: "We did find SDCs that cannot be detected by this
+    #: toolchain").
+    escape_fraction: float = 0.05
+    onset: OnsetMixture = field(default_factory=OnsetMixture)
+    seed: int = 1
+
+    def resolved_shares(self) -> Dict[str, float]:
+        if self.arch_shares is not None:
+            shares = dict(self.arch_shares)
+        else:
+            # Newer architectures are deployed in larger volume.
+            raw = {
+                name: 0.6 + 0.1 * arch.generation
+                for name, arch in ARCHITECTURES.items()
+            }
+            total = sum(raw.values())
+            shares = {name: value / total for name, value in raw.items()}
+        total = sum(shares.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError("arch shares must sum to 1")
+        return shares
+
+
+@dataclass
+class FleetPopulation:
+    """The generated fleet: healthy counts plus instantiated faulty CPUs."""
+
+    spec: FleetSpec
+    arch_counts: Dict[str, int]
+    faulty: List[Processor]
+
+    @property
+    def total(self) -> int:
+        return sum(self.arch_counts.values())
+
+    def faulty_by_arch(self) -> Dict[str, List[Processor]]:
+        grouped: Dict[str, List[Processor]] = {name: [] for name in self.arch_counts}
+        for processor in self.faulty:
+            grouped[processor.arch.name].append(processor)
+        return grouped
+
+    def detectable_faulty(self) -> List[Processor]:
+        return [
+            p
+            for p in self.faulty
+            if not all(d.escapes_toolchain for d in p.defects)
+        ]
+
+
+def _sample_fleet_defect(
+    name: str,
+    arch: MicroArchitecture,
+    onset_days: float,
+    escapes: bool,
+    rng: np.random.Generator,
+) -> Defect:
+    """One defect with catalog-consistent statistics.
+
+    §4.1: of the 27 studied CPUs, 19 are computation-type and 8
+    consistency-type — we keep that ~70/30 split fleet-wide.
+    Observation 4: about half the faulty CPUs have a single defective
+    core.
+    """
+    consistency = rng.random() < 8.0 / 27.0
+    tmin = float(rng.uniform(40.0, 72.0))
+    log10_f0 = float(
+        FIG9_INTERCEPT - FIG9_SLOPE * (tmin - 40.0) + rng.normal(0.0, FIG9_NOISE_SD)
+    )
+    slope = float(rng.uniform(0.08, 0.22))
+    single = rng.random() < 0.5
+    scope = DefectScope.SINGLE_CORE if single else DefectScope.ALL_CORES
+    cores = (int(rng.integers(arch.physical_cores)),) if single else None
+
+    if consistency:
+        kind = rng.random()
+        if kind < 0.4:
+            features: Tuple[Feature, ...] = (Feature.CACHE,)
+        elif kind < 0.8:
+            features = (Feature.TRX_MEM,)
+        else:
+            features = (Feature.CACHE, Feature.TRX_MEM)
+        instructions: Tuple[str, ...] = ()
+    else:
+        # Floating-point-heavy features dominate (Observation 6: "many
+        # different vulnerable features are related to floating-point
+        # calculation").
+        primary = (Feature.ALU, Feature.VECTOR, Feature.FPU)[
+            int(rng.choice(3, p=[0.30, 0.30, 0.40]))
+        ]
+        pool = _GENERATED_POOLS[primary]
+        instructions = pool[int(rng.integers(len(pool)))]
+        features = tuple(
+            dict.fromkeys(
+                (primary,)
+                + tuple(
+                    f
+                    for m in instructions
+                    for f in DEFAULT_ISA[m].features
+                    if f in (Feature.ALU, Feature.VECTOR, Feature.FPU)
+                )
+            )
+        )
+    defect = _defect(
+        name, features, arch, scope, instructions,
+        tmin=tmin, log10_f0=log10_f0, slope=slope,
+        pattern_probability=float(rng.uniform(0.35, 0.9)),
+        cores=cores,
+    )
+    # Dataclass is frozen; rebuild with onset/escape attributes set.
+    return Defect(
+        defect_id=defect.defect_id,
+        features=defect.features,
+        scope=defect.scope,
+        core_ids=defect.core_ids,
+        instructions=defect.instructions,
+        datatypes=defect.datatypes,
+        trigger=defect.trigger,
+        bitflip=defect.bitflip,
+        core_multipliers=defect.core_multipliers,
+        multithread_only=defect.multithread_only,
+        escapes_toolchain=escapes,
+        onset_days=onset_days,
+    )
+
+
+def generate_fleet(spec: Optional[FleetSpec] = None) -> FleetPopulation:
+    """Generate the fleet: arch counts plus instantiated faulty CPUs."""
+    spec = spec or FleetSpec()
+    rng = substream(spec.seed, "fleet")
+    shares = spec.resolved_shares()
+
+    arch_counts: Dict[str, int] = {}
+    remaining = spec.total_processors
+    names = sorted(shares)
+    for name in names[:-1]:
+        count = int(round(spec.total_processors * shares[name]))
+        arch_counts[name] = count
+        remaining -= count
+    arch_counts[names[-1]] = remaining
+
+    faulty: List[Processor] = []
+    for name in names:
+        arch = ARCHITECTURES[name]
+        # Table 2 rates are *detected* failure rates; true incidence is
+        # higher by the escape fraction.
+        detected_rate = from_permyriad(PAPER_ARCH_FAILURE_RATES_PERMYRIAD[name])
+        incidence = detected_rate / (1.0 - spec.escape_fraction)
+        count = int(rng.binomial(arch_counts[name], incidence))
+        for index in range(count):
+            cpu_name = f"{name}-F{index:04d}"
+            onset = spec.onset.sample(rng)
+            escapes = rng.random() < spec.escape_fraction
+            defect = _sample_fleet_defect(cpu_name, arch, onset, escapes, rng)
+            faulty.append(
+                Processor(
+                    processor_id=cpu_name,
+                    arch=arch,
+                    defects=(defect,),
+                    age_years=0.0,
+                )
+            )
+    return FleetPopulation(spec=spec, arch_counts=arch_counts, faulty=faulty)

@@ -1,0 +1,337 @@
+"""Running testcases against a simulated processor.
+
+Two fidelities share one trigger law:
+
+* :meth:`ToolchainRunner.run_testcase` co-simulates the thermal model
+  and statistical error arrival (Poisson with the setting's occurrence
+  frequency), materializing each error's corrupted value through the
+  defect's bitflip model.  This is how month-scale test campaigns run
+  in milliseconds while still producing bit-accurate SDC records.
+* :meth:`ToolchainRunner.run_at_fixed_temperature` holds temperature
+  constant — the §5 methodology of preheating to a desired temperature
+  and measuring occurrence frequency there (Figure 8's sweeps).
+
+Thermal coupling details the paper leans on are reproduced: cores under
+test heat the shared package (busy-neighbour effect), heat persists
+across consecutive testcases (test-order effect), and per-core heat is
+throttled at a realistic ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import substream
+from ..cpu import datatypes
+from ..cpu.defects import Defect
+from ..cpu.features import DataType, Feature
+from ..cpu.isa import DEFAULT_ISA, ISA, Instruction
+from ..cpu.processor import Processor
+from ..faults.injector import FaultInjector
+from ..faults.trigger import TriggerModel
+from ..thermal.model import PackageThermalModel
+from .records import ConsistencyRecord, RecordStore, SDCRecord
+from .testcase import ConsistencyKind, Testcase
+
+__all__ = ["TestcaseRun", "ToolchainRunner", "HEAT_THROTTLE"]
+
+#: Per-core heat-factor ceiling: sustained power is thermally throttled,
+#: keeping all-core burn-in just under the package temperature limit.
+HEAT_THROTTLE = 1.6
+
+
+@dataclass
+class TestcaseRun:
+    """Outcome of running one testcase for one duration."""
+
+    __test__ = False  # not a pytest test class
+
+
+    processor_id: str
+    testcase_id: str
+    duration_s: float
+    records: List[SDCRecord] = field(default_factory=list)
+    consistency_records: List[ConsistencyRecord] = field(default_factory=list)
+    start_temp_c: float = 0.0
+    end_temp_c: float = 0.0
+    max_core_temp_c: float = 0.0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.records) or bool(self.consistency_records)
+
+    @property
+    def error_count(self) -> int:
+        return len(self.records) + len(self.consistency_records)
+
+
+def _operand_dtype(instruction: Instruction) -> DataType:
+    """Data type operands are drawn from for a given instruction."""
+    if instruction.dtype.is_float:
+        # Transcendental/extended ops consume doubles.
+        return DataType.FLOAT64 if instruction.dtype is DataType.FLOAT64X else instruction.dtype
+    return instruction.dtype
+
+
+class ToolchainRunner:
+    """Drives testcases from the library against one processor."""
+
+    def __init__(
+        self,
+        processor: Processor,
+        trigger_model: Optional[TriggerModel] = None,
+        thermal: Optional[PackageThermalModel] = None,
+        isa: ISA = DEFAULT_ISA,
+        seed: int = 0,
+        heat_scale: float = 1.0,
+    ):
+        if heat_scale <= 0:
+            raise ConfigurationError("heat_scale must be positive")
+        self.processor = processor
+        self.trigger = trigger_model or TriggerModel()
+        self.thermal = thermal or PackageThermalModel(processor.arch)
+        self.isa = isa
+        #: Framework efficiency multiplier on testcase heat.  §5's
+        #: "toolchain update" case: a more efficient framework burns
+        #: fewer cycles, generates less heat, and reproduces fewer SDCs.
+        self.heat_scale = heat_scale
+        self.injector = FaultInjector(processor, self.trigger)
+        self._rng = substream(seed, "runner", processor.processor_id)
+
+    # -- defect/testcase matching -----------------------------------------
+
+    def _computation_settings(
+        self, testcase: Testcase, pcore_id: int
+    ) -> List[Tuple[Defect, str]]:
+        """(defect, mnemonic) pairs this testcase can trigger on a core."""
+        if testcase.is_consistency or pcore_id in self.processor.masked_cores:
+            return []
+        pairs = []
+        for defect in self.processor.active_defects():
+            if defect.is_consistency or not defect.affects_core(pcore_id):
+                continue
+            for mnemonic in defect.instructions:
+                if testcase.uses_instruction(mnemonic):
+                    pairs.append((defect, mnemonic))
+        return pairs
+
+    def _consistency_defects(
+        self, testcase: Testcase, pcore_id: int
+    ) -> List[Defect]:
+        if not testcase.is_consistency or pcore_id in self.processor.masked_cores:
+            return []
+        wanted = (
+            Feature.CACHE
+            if testcase.consistency_kind is ConsistencyKind.COHERENCE
+            else Feature.TRX_MEM
+        )
+        return [
+            defect
+            for defect in self.processor.active_defects()
+            if defect.is_consistency
+            and defect.affects_core(pcore_id)
+            and wanted in defect.features
+        ]
+
+    def can_ever_fail(self, testcase: Testcase) -> bool:
+        """Whether any (core, defect) combination matches this testcase."""
+        for pcore_id in range(self.processor.arch.physical_cores):
+            if self._computation_settings(testcase, pcore_id):
+                return True
+            if self._consistency_defects(testcase, pcore_id):
+                return True
+        return False
+
+    # -- record materialization ---------------------------------------------
+
+    def _materialize_records(
+        self,
+        testcase: Testcase,
+        defect: Defect,
+        mnemonic: str,
+        pcore_id: int,
+        count: int,
+        temperature_c: float,
+        time_s: float,
+    ) -> List[SDCRecord]:
+        instruction = self.isa[mnemonic]
+        operand_dtype = _operand_dtype(instruction)
+        records = []
+        for _ in range(count):
+            operands = tuple(
+                datatypes.random_value(self._rng, operand_dtype)
+                for _ in range(instruction.arity)
+            )
+            correct = instruction.execute(*operands)
+            event = self.injector.materialize(
+                defect, instruction, correct, self._rng
+            )
+            records.append(
+                SDCRecord(
+                    processor_id=self.processor.processor_id,
+                    testcase_id=testcase.testcase_id,
+                    pcore_id=pcore_id,
+                    defect_id=defect.defect_id,
+                    instruction=mnemonic,
+                    dtype=instruction.dtype,
+                    expected_bits=event.expected_bits,
+                    actual_bits=event.actual_bits,
+                    temperature_c=temperature_c,
+                    time_s=time_s,
+                )
+            )
+        return records
+
+    # -- main entry points ------------------------------------------------------
+
+    def run_testcase(
+        self,
+        testcase: Testcase,
+        duration_s: float,
+        cores: Optional[Sequence[int]] = None,
+        store: Optional[RecordStore] = None,
+        dt_s: float = 10.0,
+    ) -> TestcaseRun:
+        """Run one testcase with live thermal co-simulation.
+
+        ``cores`` are the physical cores under test (defaults to all
+        non-masked cores, i.e. the framework's full-concurrency mode).
+        The thermal state persists on the runner across calls, so
+        consecutive testcases see each other's remaining heat.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if cores is None:
+            cores = [c.pcore_id for c in self.processor.available_cores()]
+        else:
+            cores = list(cores)
+            masked = [c for c in cores if c in self.processor.masked_cores]
+            if masked:
+                raise ConfigurationError(f"cores {masked} are masked out")
+        heat = min(testcase.heat_factor(self.isa) * self.heat_scale, HEAT_THROTTLE)
+        loads = {core: (1.0, heat) for core in cores}
+        run = TestcaseRun(
+            processor_id=self.processor.processor_id,
+            testcase_id=testcase.testcase_id,
+            duration_s=duration_s,
+            start_temp_c=self.thermal.package_temp,
+        )
+        elapsed = 0.0
+        while elapsed < duration_s - 1e-9:
+            step = min(dt_s, duration_s - elapsed)
+            self.thermal.step(step, loads)
+            elapsed += step
+            for pcore_id in cores:
+                temp = self.thermal.core_temp(pcore_id)
+                run.max_core_temp_c = max(run.max_core_temp_c, temp)
+                self._collect_interval(
+                    testcase, pcore_id, temp, step,
+                    self.thermal.elapsed_s, run,
+                )
+        run.end_temp_c = self.thermal.package_temp
+        if store is not None:
+            store.extend(run.records)
+            for record in run.consistency_records:
+                store.add_consistency(record)
+        return run
+
+    def run_at_fixed_temperature(
+        self,
+        testcase: Testcase,
+        temperature_c: float,
+        duration_s: float,
+        cores: Optional[Sequence[int]] = None,
+        store: Optional[RecordStore] = None,
+    ) -> TestcaseRun:
+        """Run with the core temperature pinned (§5's preheat methodology)."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if cores is None:
+            cores = [c.pcore_id for c in self.processor.available_cores()]
+        run = TestcaseRun(
+            processor_id=self.processor.processor_id,
+            testcase_id=testcase.testcase_id,
+            duration_s=duration_s,
+            start_temp_c=temperature_c,
+            end_temp_c=temperature_c,
+            max_core_temp_c=temperature_c,
+        )
+        for pcore_id in cores:
+            self._collect_interval(
+                testcase, pcore_id, temperature_c, duration_s, 0.0, run
+            )
+        if store is not None:
+            store.extend(run.records)
+            for record in run.consistency_records:
+                store.add_consistency(record)
+        return run
+
+    def _collect_interval(
+        self,
+        testcase: Testcase,
+        pcore_id: int,
+        temperature_c: float,
+        interval_s: float,
+        time_s: float,
+        run: TestcaseRun,
+    ) -> None:
+        for defect, mnemonic in self._computation_settings(testcase, pcore_id):
+            count = self.trigger.sample_errors(
+                defect,
+                testcase.testcase_id,
+                temperature_c,
+                testcase.usage_per_s(mnemonic),
+                pcore_id,
+                interval_s,
+                self._rng,
+            )
+            if count:
+                run.records.extend(
+                    self._materialize_records(
+                        testcase, defect, mnemonic, pcore_id,
+                        count, temperature_c, time_s,
+                    )
+                )
+        for defect in self._consistency_defects(testcase, pcore_id):
+            count = self.trigger.sample_errors(
+                defect,
+                testcase.testcase_id,
+                temperature_c,
+                testcase.consistency_ops_per_s,
+                pcore_id,
+                interval_s,
+                self._rng,
+            )
+            for _ in range(count):
+                run.consistency_records.append(
+                    ConsistencyRecord(
+                        processor_id=self.processor.processor_id,
+                        testcase_id=testcase.testcase_id,
+                        pcore_id=pcore_id,
+                        defect_id=defect.defect_id,
+                        kind=testcase.consistency_kind.value,
+                        temperature_c=temperature_c,
+                        time_s=time_s,
+                    )
+                )
+
+    def run_sequence(
+        self,
+        testcases: Sequence[Testcase],
+        duration_per_testcase_s: float,
+        store: Optional[RecordStore] = None,
+        cores: Optional[Sequence[int]] = None,
+    ) -> List[TestcaseRun]:
+        """Run testcases back to back, thermal state carrying over."""
+        return [
+            self.run_testcase(tc, duration_per_testcase_s, cores=cores, store=store)
+            for tc in testcases
+        ]
+
+    def idle(self, duration_s: float) -> None:
+        """Let the package cool with no load (between test rounds)."""
+        self.thermal.step(duration_s, {})

@@ -1,0 +1,16 @@
+"""Thermal substrate: package RC model, cooling, stress, monitoring."""
+
+from .model import PackageThermalModel, ThermalParams
+from .cooling import CoolingDevice, FanCurveController
+from .stress import StressTool
+from .sensors import TemperatureMonitor, TemperatureSample
+
+__all__ = [
+    "PackageThermalModel",
+    "ThermalParams",
+    "CoolingDevice",
+    "FanCurveController",
+    "StressTool",
+    "TemperatureMonitor",
+    "TemperatureSample",
+]

@@ -1,0 +1,49 @@
+"""Unit helpers used throughout the study.
+
+The paper reports failure rates in permyriad (basis points of a percent,
+written with the U+2031 PER TEN THOUSAND sign), temperatures in degrees
+Celsius, occurrence frequencies in errors per minute, and overheads as
+fractions of a three-month production period.  Keeping the conversions
+in one module avoids a zoo of magic constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PERMYRIAD",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "THREE_MONTHS_SECONDS",
+    "permyriad",
+    "from_permyriad",
+    "format_permyriad",
+    "fraction_to_percent",
+]
+
+PERMYRIAD = 1.0 / 10_000.0
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+#: Regular tests happen "every three months" (§7, baseline description).
+THREE_MONTHS_SECONDS = 90.0 * SECONDS_PER_DAY
+
+
+def permyriad(fraction: float) -> float:
+    """Convert a plain fraction to permyriad units (1 ‱ == 1e-4)."""
+    return fraction / PERMYRIAD
+
+
+def from_permyriad(value: float) -> float:
+    """Convert a permyriad value back to a plain fraction."""
+    return value * PERMYRIAD
+
+
+def format_permyriad(fraction: float, digits: int = 3) -> str:
+    """Render a fraction the way the paper prints it, e.g. ``3.61‱``."""
+    return f"{permyriad(fraction):.{digits}f}‱"
+
+
+def fraction_to_percent(fraction: float, digits: int = 3) -> str:
+    """Render a fraction as a percentage string, e.g. ``0.488%``."""
+    return f"{fraction * 100.0:.{digits}f}%"

@@ -1,0 +1,36 @@
+"""Impacted application workloads (§2.2 case studies, Table 3)."""
+
+from .matrix import MatrixMultiplyResult, matrix_multiply
+from .checksum import ChecksumResult, crc32, crc32_golden
+from .hashing import LookupOutcome, MetadataService
+from .mathfn import MathLibResult, MathLibrary
+from .strings import StringTransformResult, pack_utf16, reverse_words
+from .bigint import BigIntResult, bigint_add
+from .storage import (
+    StorageRunReport,
+    run_request_storm,
+    run_shared_buffer_daemon,
+)
+from .transactional import LedgerReport, run_transfer_service
+
+__all__ = [
+    "MatrixMultiplyResult",
+    "matrix_multiply",
+    "ChecksumResult",
+    "crc32",
+    "crc32_golden",
+    "LookupOutcome",
+    "MetadataService",
+    "MathLibResult",
+    "MathLibrary",
+    "StringTransformResult",
+    "pack_utf16",
+    "reverse_words",
+    "BigIntResult",
+    "bigint_add",
+    "StorageRunReport",
+    "run_request_storm",
+    "run_shared_buffer_daemon",
+    "LedgerReport",
+    "run_transfer_service",
+]

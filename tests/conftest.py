@@ -1,0 +1,33 @@
+"""Shared fixtures: the toolchain library and study catalog are
+immutable and expensive enough to build once per session."""
+
+import pytest
+
+from repro.cpu import full_catalog, named_catalog
+from repro.faults import TriggerModel
+from repro.testing import TestFramework, build_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_library()
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return full_catalog()
+
+
+@pytest.fixture(scope="session")
+def named():
+    return named_catalog()
+
+
+@pytest.fixture()
+def framework(library):
+    return TestFramework(library)
+
+
+@pytest.fixture()
+def trigger():
+    return TriggerModel()

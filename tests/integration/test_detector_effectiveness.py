@@ -1,0 +1,70 @@
+"""Integration tests: Observation 12 — fault tolerance vs CPU SDCs."""
+
+import pytest
+
+from repro.detectors import (
+    DecodeStatus,
+    checksum_timing_experiment,
+    ecc_multibit_experiment,
+    erasure_propagation_experiment,
+    prediction_experiment,
+)
+from repro.faults import IIDBitflip, PositionBiasedBitflip
+
+
+class TestChecksumTiming:
+    def test_post_parity_caught_pre_parity_missed(self):
+        report = checksum_timing_experiment(trials=400)
+        # Classical storage corruption: CRC catches essentially all.
+        assert report.post_parity_rate > 0.99
+        # CPU SDC before parity: CRC catches none (§6.2 reason 2).
+        assert report.pre_parity_rate == 0.0
+
+
+class TestEccMultibit:
+    def test_study_flips_produce_miscorrections(self):
+        report = ecc_multibit_experiment(trials=800)
+        # Single-bit flips (the majority) are corrected...
+        assert report.rate(DecodeStatus.CORRECTED) > 0.7
+        # ...double flips detected...
+        assert report.rate(DecodeStatus.DETECTED_UNCORRECTABLE) > 0.0
+        # ...but >2-bit patterns can silently mis-correct (Obs. 8).
+        assert report.silent_failure_rate > 0.0
+
+    def test_iid_model_underestimates_risk(self):
+        # Under the critiqued IID single-flip model, SECDED never
+        # miscorrects — which is exactly why that model is deficient.
+        report = ecc_multibit_experiment(
+            bitflip_model=IIDBitflip(), trials=400
+        )
+        assert report.silent_failure_rate == 0.0
+        study = ecc_multibit_experiment(
+            bitflip_model=PositionBiasedBitflip(), trials=800
+        )
+        assert study.silent_failure_rate > report.silent_failure_rate
+
+
+class TestErasurePropagation:
+    def test_corruption_propagates_and_verify_blind(self):
+        report = erasure_propagation_experiment(trials=40)
+        # §6.2: the corrupted block rebuilds the lost block wrongly...
+        assert report.propagation_rate == 1.0
+        # ...and parity computed after the corruption matches it.
+        assert report.verify_caught_pre_parity == 0
+
+
+class TestPrediction:
+    def test_minor_losses_evade_range_detection(self):
+        report = prediction_experiment(tolerance=0.05, stream_len=3000)
+        assert report.injected > 20
+        # Observation 7: most float corruption slips under 5% tolerance.
+        assert report.miss_rate > 0.6
+        # And the detector is not simply broken: it rarely false-alarms.
+        assert report.false_alarm_rate < 0.05
+
+    def test_tight_tolerance_tradeoff(self):
+        loose = prediction_experiment(tolerance=0.10, stream_len=3000)
+        tight = prediction_experiment(tolerance=0.001, stream_len=3000)
+        # Tightening catches more but that is the paper's point: the
+        # needed tolerance approaches measurement noise.
+        assert tight.miss_rate <= loose.miss_rate

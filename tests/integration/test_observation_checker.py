@@ -1,0 +1,37 @@
+"""Integration test: the consolidated observation checker."""
+
+import pytest
+
+from repro.analysis import build_catalog_corpus, check_all_observations
+from repro.fleet import FleetSpec, TestPipeline, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def artifacts(catalog, library):
+    fleet = generate_fleet(FleetSpec(total_processors=300_000, seed=4))
+    campaign = TestPipeline(fleet, library, seed=4).run()
+    corpus = build_catalog_corpus(catalog, library)
+    return fleet, campaign, corpus
+
+
+def test_all_observations_hold(artifacts, catalog, library):
+    fleet, campaign, corpus = artifacts
+    report = check_all_observations(
+        fleet, campaign, catalog, library, corpus=corpus
+    )
+    assert len(report) == 11
+    assert [r.number for r in report] == list(range(1, 12))
+    failing = [r.summary() for r in report if not r.holds]
+    assert not failing, failing
+
+
+def test_summaries_are_informative(artifacts, catalog, library):
+    fleet, campaign, corpus = artifacts
+    report = check_all_observations(
+        fleet, campaign, catalog, library, corpus=corpus
+    )
+    for result in report:
+        text = result.summary()
+        assert f"Obs {result.number:>2}" in text
+        assert "HOLDS" in text or "DEVIATES" in text
+        assert result.claim in text

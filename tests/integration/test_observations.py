@@ -1,0 +1,202 @@
+"""Integration tests: the paper's 12 observations, re-derived.
+
+Each test runs the relevant slice of the reproduction pipeline at a
+reduced-but-meaningful scale and asserts the *direction/shape* of the
+corresponding observation, not exact paper numbers (those are recorded
+side by side in EXPERIMENTS.md by the benchmark harness).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    catalog_setting_survey,
+    flip_count_distribution,
+    flip_direction_fraction,
+    bitflip_histogram,
+    linear_fit,
+    pattern_proportions_by_setting,
+    pearson_r,
+    precision_losses,
+    temperature_sweep,
+)
+from repro.cpu import DataType, Feature, SDCType, VULNERABLE_FEATURES
+from repro.fleet import FleetSpec, PipelineConfig, TestPipeline, generate_fleet, stats
+from repro.testing import RecordStore, ToolchainRunner
+from repro.units import permyriad
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(FleetSpec(total_processors=400_000, seed=3))
+
+
+@pytest.fixture(scope="module")
+def campaign(fleet, library):
+    return TestPipeline(fleet, library, seed=3).run()
+
+
+@pytest.fixture(scope="module")
+def catalog_records(catalog, library):
+    """A study corpus: generous hot runs over every catalog CPU."""
+    store = RecordStore()
+    for processor in catalog.values():
+        runner = ToolchainRunner(processor)
+        for testcase in library:
+            if runner.can_ever_fail(testcase):
+                runner.run_at_fixed_temperature(
+                    testcase, 78.0, 900.0, store=store
+                )
+    return store
+
+
+class TestFleetObservations:
+    def test_obs1_overall_rate_a_few_permyriad(self, campaign):
+        # Observation 1: 3.61‱ overall in the paper.
+        rate = permyriad(stats.overall_failure_rate(campaign))
+        assert 1.0 < rate < 8.0
+
+    def test_obs2_preproduction_dominates(self, campaign):
+        # Observation 2: pre-production catches ~90% of faulty CPUs.
+        fraction = stats.pre_production_fraction(
+            campaign, PipelineConfig().pre_production_stage_names()
+        )
+        assert fraction > 0.75
+        by_stage = stats.timing_failure_rates(campaign)
+        assert by_stage.get("regular", 0.0) > 0.0
+
+    def test_obs3_all_archs_affected_no_generation_trend(self, campaign):
+        rates = stats.arch_failure_rates(campaign)
+        # M4's 0.082 permyriad incidence can round to zero faulty CPUs
+        # in a 400k sample; most architectures must still be affected.
+        affected = sum(1 for rate in rates.values() if rate > 0)
+        assert affected >= 7
+        # Newer archs are not systematically better: the newest three
+        # must not all be below the oldest three.
+        old = [rates["M1"], rates["M2"], rates["M3"]]
+        new = [rates["M7"], rates["M8"], rates["M9"]]
+        assert max(new) > min(old)
+
+    def test_obs4_core_scope_split(self, fleet, campaign):
+        fraction = stats.single_core_fraction(campaign, fleet)
+        assert 0.3 < fraction < 0.7
+
+    def test_obs11_most_testcases_ineffective(self, campaign, library):
+        ineffective = stats.ineffective_testcase_count(campaign, len(library))
+        # Paper: 560 of 633 find nothing.
+        assert ineffective > 0.75 * len(library)
+
+
+class TestSymptomObservations:
+    def test_obs5_vulnerable_features(self, fleet, campaign):
+        proportions = stats.feature_proportions(campaign, fleet)
+        assert set(proportions) == VULNERABLE_FEATURES
+        assert all(p > 0 for p in proportions.values())
+
+    def test_obs5_types_never_mix(self, catalog):
+        # A CPU's defective features always share one SDC type.
+        for processor in catalog.values():
+            types = {
+                d.sdc_type for d in processor.defects
+            }
+            assert len(types) == 1
+
+    def test_obs6_floats_most_affected(self, fleet, campaign):
+        proportions = stats.datatype_proportions(campaign, fleet)
+        float_share = max(
+            proportions.get(DataType.FLOAT32, 0),
+            proportions.get(DataType.FLOAT64, 0),
+        )
+        others = [
+            v
+            for k, v in proportions.items()
+            if k not in (DataType.FLOAT32, DataType.FLOAT64, DataType.FLOAT64X)
+        ]
+        assert float_share >= max(others, default=0.0) * 0.8
+
+    def test_obs7_fraction_bias_and_small_float_losses(self, catalog_records):
+        histogram = bitflip_histogram(
+            catalog_records.records, DataType.FLOAT64
+        )
+        assert histogram.total_records > 50
+        # MSB flips rare.
+        assert histogram.msb_flip_fraction(8) < 0.05
+        losses = precision_losses(
+            catalog_records.records, DataType.FLOAT64
+        )
+        finite = [l for l in losses if math.isfinite(l)]
+        below = sum(1 for l in finite if l < 0.02 / 100) / len(finite)
+        assert below > 0.9
+        # Integer losses are large by comparison.
+        int_losses = precision_losses(
+            catalog_records.records, DataType.INT32
+        )
+        if int_losses:
+            above = sum(1 for l in int_losses if l > 1.0) / len(int_losses)
+            assert above > 0.1
+
+    def test_obs7_direction_roughly_balanced(self, catalog_records):
+        fraction = flip_direction_fraction(catalog_records.records)
+        # Paper: 51.08% are 0→1.
+        assert 0.4 < fraction < 0.62
+
+    def test_obs8_patterns_exist(self, catalog_records):
+        proportions = pattern_proportions_by_setting(catalog_records)
+        assert proportions
+        # Many settings have a majority of records matching a pattern.
+        high = sum(1 for v in proportions.values() if v > 0.5)
+        assert high / len(proportions) > 0.3
+
+    def test_obs8_multibit_flips_present(self, catalog_records):
+        distribution = flip_count_distribution(
+            catalog_records, DataType.FLOAT64, pattern_only=False
+        )
+        assert distribution["1"] > 0.6
+        assert distribution["2"] + distribution[">2"] > 0.02
+
+
+class TestReproducibilityObservations:
+    def test_obs9_frequency_spread(self, catalog, library):
+        survey = catalog_setting_survey(list(catalog.values()), library)
+        assert len(survey) > 20
+        freqs = [p.log10_freq_at_tmin for p in survey]
+        assert max(freqs) - min(freqs) > 2.0  # orders of magnitude
+
+    def test_obs10_exponential_temperature_dependence(self, catalog, library):
+        runner = ToolchainRunner(catalog["FPU2"])
+        testcase = next(
+            tc
+            for tc in library.loops()
+            if tc.instruction_mix.get("FATAN_F64X", 0) >= 0.5
+        )
+        sweep = temperature_sweep(
+            runner,
+            testcase,
+            temperatures=[52, 54, 56, 58, 60, 62],
+            duration_s=1200.0,
+            pcore_id=8,
+        )
+        fit = sweep.fit()
+        assert fit is not None
+        assert fit.slope > 0
+        assert fit.pearson_r > 0.7  # paper reports r > 0.75 fits
+
+    def test_obs10_minimum_trigger_temperature(self, catalog, library):
+        runner = ToolchainRunner(catalog["MIX1"])
+        testcase = next(
+            tc
+            for tc in library.loops()
+            if tc.instruction_mix.get("VFMA_F32", 0) >= 0.5
+        )
+        cold = runner.run_at_fixed_temperature(testcase, 45.0, 3600.0)
+        assert not cold.detected  # "tests below this threshold ... cannot reproduce"
+        hot = runner.run_at_fixed_temperature(testcase, 75.0, 3600.0)
+        assert hot.detected
+
+    def test_fig9_anticorrelation(self, catalog, library):
+        survey = catalog_setting_survey(list(catalog.values()), library)
+        xs = [p.tmin_c for p in survey]
+        ys = [p.log10_freq_at_tmin for p in survey]
+        # Paper: r = −0.8272.
+        assert pearson_r(xs, ys) < -0.5

@@ -1,0 +1,77 @@
+"""Integration tests: SMT behaviour of defects (Observation 4).
+
+"Multiple hardware threads, also known as logical cores, can share a
+single physical core.  In most cases, all the logical cores sharing the
+same defective physical core are affected and they fail the same
+testcases with a similar frequency."
+
+In this model a defect lives in the physical core's shared components
+(arithmetic units), so both SMT siblings inherit exactly the same
+trigger behaviour — re-derived here by running the same setting through
+both hardware threads of the defective core.
+"""
+
+import pytest
+
+from repro.cpu import Executor
+from repro.testing import ToolchainRunner
+
+
+@pytest.fixture()
+def simd1(catalog):
+    return catalog["SIMD1"]
+
+
+@pytest.fixture()
+def fma_loop(library):
+    return next(
+        tc
+        for tc in library.loops()
+        if tc.instruction_mix.get("VFMA_F32", 0) >= 0.5
+    )
+
+
+class TestSMTSiblings:
+    def test_both_threads_of_defective_pcore_fail(self, simd1, fma_loop):
+        logical = [
+            thread
+            for pcore in simd1.physical_cores
+            if pcore.pcore_id == 3
+            for thread in pcore.logical()
+        ]
+        assert len(logical) == simd1.arch.smt == 2
+        counts = []
+        for index, thread in enumerate(logical):
+            runner = ToolchainRunner(simd1, seed=index)
+            run = runner.run_at_fixed_temperature(
+                fma_loop, 60.0, 1800.0, cores=[thread.pcore_id]
+            )
+            counts.append(run.error_count)
+        # Both hardware threads fail the same testcase ...
+        assert all(count > 0 for count in counts)
+        # ... with a similar frequency (same physical defect).
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_threads_of_healthy_pcores_never_fail(self, simd1, fma_loop):
+        for pcore in simd1.physical_cores:
+            if pcore.pcore_id == 3:
+                continue
+            runner = ToolchainRunner(simd1)
+            run = runner.run_at_fixed_temperature(
+                fma_loop, 60.0, 600.0, cores=[pcore.pcore_id]
+            )
+            assert not run.detected
+
+    def test_concrete_execution_same_on_both_threads(self, simd1):
+        """The executor keys injection on the physical core, so a
+        defect is thread-agnostic by construction."""
+        executor = Executor(simd1, time_compression=1e6)
+        program = [("VFMA_F32", (1.5, 2.5, 0.5))] * 200
+        results = [
+            executor.run(
+                program, pcore_id=3, temperature_c=60.0,
+                setting_key=f"smt-t{thread}",
+            )
+            for thread in range(2)
+        ]
+        assert all(r.corrupted for r in results)

@@ -1,0 +1,91 @@
+"""Property tests: healthy consistency substrates are actually consistent."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CoherentSystem, TransactionalMemory
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "flush"]),
+        st.integers(min_value=0, max_value=3),   # core
+        st.integers(min_value=0, max_value=5),   # address
+        st.integers(min_value=0, max_value=999),  # value
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops)
+def test_healthy_coherence_is_sequentially_consistent(operations):
+    """With no injected defect, every read returns the latest write."""
+    system = CoherentSystem(n_cores=4)
+    shadow = {}
+    for op, core, address, value in operations:
+        if op == "write":
+            system.write(core, address, value)
+            shadow[address] = value
+        elif op == "read":
+            assert system.read(core, address) == shadow.get(address, 0)
+        else:
+            system.flush(core)
+    assert system.violations == []
+
+
+txn_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # core
+        st.lists(  # writes in the transaction
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=99),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(txn_scripts)
+def test_healthy_txmem_commits_are_atomic(scripts):
+    """Each committed transaction's writes all land; none are partial."""
+    memory = TransactionalMemory()
+    shadow = {}
+    for core, writes in scripts:
+        memory.begin(core)
+        for address, value in writes:
+            memory.write(core, address, value)
+        if memory.commit(core):
+            for address, value in writes:
+                shadow[address] = value
+        for address, value in shadow.items():
+            assert memory.peek(address) == value
+    assert memory.violations == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_torn_commits_always_recorded(pairs):
+    """With a tearing hook, every multi-write commit that reports
+    success either applied everything or was recorded as torn."""
+    memory = TransactionalMemory(tear_hook=lambda core: True)
+    for index, (a, b) in enumerate(pairs):
+        if a == b:
+            continue
+        memory.begin(0)
+        memory.write(0, a, index + 1)
+        memory.write(0, b, index + 1)
+        memory.commit(0)
+    for torn in memory.violations:
+        assert torn.applied
+        assert torn.dropped

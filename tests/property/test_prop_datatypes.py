@@ -1,0 +1,96 @@
+"""Property tests for bit-level codecs (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import DataType
+from repro.cpu.datatypes import (
+    decode,
+    encode,
+    flipped_positions,
+    popcount,
+    relative_precision_loss,
+    xor_mask,
+)
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int32_roundtrip(value):
+    assert decode(encode(value, DataType.INT32), DataType.INT32) == value
+
+
+@given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+def test_int16_roundtrip(value):
+    assert decode(encode(value, DataType.INT16), DataType.INT16) == value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_uint32_roundtrip(value):
+    assert decode(encode(value, DataType.UINT32), DataType.UINT32) == value
+
+
+@given(finite_doubles)
+def test_float64_roundtrip(value):
+    assert decode(encode(value, DataType.FLOAT64), DataType.FLOAT64) == value
+
+
+@given(finite_doubles)
+def test_float64x_roundtrip_exact(value):
+    # Every double is exactly representable in the 80-bit format.
+    assert decode(encode(value, DataType.FLOAT64X), DataType.FLOAT64X) == value
+
+
+@given(st.floats(allow_nan=False, width=32))
+def test_float32_roundtrip(value):
+    assert decode(encode(value, DataType.FLOAT32), DataType.FLOAT32) == value
+
+
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=2**64 - 1),
+)
+def test_xor_mask_involution(a, b):
+    mask = xor_mask(a, b)
+    assert a ^ mask == b
+    assert b ^ mask == a
+
+
+@given(st.integers(min_value=0, max_value=2**80 - 1))
+def test_flipped_positions_consistent_with_popcount(mask):
+    positions = flipped_positions(mask)
+    assert len(positions) == popcount(mask)
+    rebuilt = 0
+    for position in positions:
+        rebuilt |= 1 << position
+    assert rebuilt == mask
+    assert positions == sorted(positions)
+
+
+@given(
+    finite_doubles.filter(lambda x: x != 0.0),
+    st.integers(min_value=0, max_value=51),
+)
+def test_fraction_flip_loss_bounded(value, bit):
+    """A fraction-bit flip on a float64 normal number loses at most
+    2^(bit-52) relative precision — the IEEE-754 property Observation 7
+    leans on ("the relative precision loss ... only depends on the
+    position of the bit")."""
+    bits = encode(value, DataType.FLOAT64)
+    exponent = (bits >> 52) & 0x7FF
+    if exponent in (0, 0x7FF):  # skip subnormals/inf: no implicit 1
+        return
+    corrupted = decode(bits ^ (1 << bit), DataType.FLOAT64)
+    loss = relative_precision_loss(value, corrupted, DataType.FLOAT64)
+    assert loss <= 2.0 ** (bit - 52) * (1 + 1e-12)
+
+
+@given(finite_doubles, finite_doubles)
+def test_precision_loss_nonnegative(expected, actual):
+    loss = relative_precision_loss(expected, actual, DataType.FLOAT64)
+    assert loss >= 0.0

@@ -1,0 +1,67 @@
+"""Property tests for GF(256) field axioms and Reed-Solomon codes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import ReedSolomon
+from repro.detectors.gf256 import gf_add, gf_inv, gf_mul
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_mul_associative(a, b, c):
+    assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+@given(elements)
+def test_additive_self_inverse(a):
+    assert gf_add(a, a) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=3),
+    st.data(),
+)
+def test_rs_any_k_shards_reconstruct(k, m, data):
+    """The erasure-code contract: any k of k+m shards rebuild the data."""
+    shard_len = 8
+    shards = [
+        bytes(
+            data.draw(
+                st.lists(
+                    st.integers(0, 255), min_size=shard_len, max_size=shard_len
+                )
+            )
+        )
+        for _ in range(k)
+    ]
+    rs = ReedSolomon(k=k, m=m)
+    parity = rs.encode(shards)
+    everything = {i: s for i, s in enumerate(shards)}
+    everything.update({k + i: p for i, p in enumerate(parity)})
+    survivors = data.draw(
+        st.sets(
+            st.integers(0, k + m - 1), min_size=k, max_size=k
+        )
+    )
+    subset = {i: everything[i] for i in survivors}
+    assert rs.reconstruct(subset, shard_len) == shards

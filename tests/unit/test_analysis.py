@@ -1,0 +1,185 @@
+"""Unit tests for the analysis package (bitflips, precision, fits)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bitflip_histogram,
+    empirical_cdf,
+    flip_count_distribution,
+    flip_direction_fraction,
+    fraction_above,
+    fraction_below,
+    linear_fit,
+    log10_losses,
+    pattern_proportion,
+    pattern_proportions_by_setting,
+    pearson_r,
+    precision_losses,
+    setting_patterns,
+    summarize_precision,
+)
+from repro.cpu import DataType
+from repro.errors import ConfigurationError
+from repro.testing import RecordStore
+
+from .test_records import make_record
+
+
+class TestCorrelation:
+    def test_perfect_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0 * x + 1.0 for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.pearson_r == pytest.approx(1.0)
+        assert fit.predict(10.0) == pytest.approx(21.0)
+
+    def test_negative_correlation(self):
+        xs = list(range(10))
+        ys = [-x + 0.0 for x in xs]
+        assert pearson_r(xs, ys) == pytest.approx(-1.0)
+
+    def test_no_correlation_constant_y(self):
+        assert pearson_r([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1.0], [2.0])
+        with pytest.raises(ConfigurationError):
+            linear_fit([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(ConfigurationError):
+            pearson_r([1, 2], [1, 2, 3])
+
+
+class TestBitflipHistogram:
+    def test_direction_split(self):
+        # expected bits 0b01: flipping bit0 is 1->0, bit1 is 0->1.
+        records = [
+            make_record(dtype=DataType.INT32, expected=1, mask=0b01),
+            make_record(dtype=DataType.INT32, expected=1, mask=0b10),
+        ]
+        histogram = bitflip_histogram(records, DataType.INT32)
+        assert histogram.one_to_zero[0] == 1
+        assert histogram.zero_to_one[1] == 1
+        assert histogram.total_records == 2
+
+    def test_proportions(self):
+        records = [
+            make_record(dtype=DataType.INT32, expected=0, mask=0b1)
+            for _ in range(4)
+        ]
+        histogram = bitflip_histogram(records, DataType.INT32)
+        zero_to_one, one_to_zero = histogram.proportions()
+        assert zero_to_one[0] == pytest.approx(1.0)
+        assert sum(one_to_zero) == 0.0
+
+    def test_msb_fraction(self):
+        records = [
+            make_record(dtype=DataType.INT32, expected=0, mask=1 << 31),
+            make_record(dtype=DataType.INT32, expected=0, mask=1 << 0),
+        ]
+        histogram = bitflip_histogram(records, DataType.INT32)
+        assert histogram.msb_flip_fraction(4) == pytest.approx(0.5)
+
+    def test_direction_fraction(self):
+        records = [
+            make_record(dtype=DataType.INT32, expected=0, mask=0b1),
+            make_record(dtype=DataType.INT32, expected=1, mask=0b1),
+        ]
+        assert flip_direction_fraction(records) == pytest.approx(0.5)
+
+
+class TestPatterns:
+    def test_pattern_threshold_rule(self):
+        # 10 records: 7 share mask A (>5%), 3 unique masks appear once
+        # each; with 10 records the cutoff is 0.5 so single occurrences
+        # also qualify — use 40 records to exercise the threshold.
+        records = [
+            make_record(dtype=DataType.INT32, expected=0, mask=0b100)
+            for _ in range(38)
+        ]
+        records.append(make_record(dtype=DataType.INT32, expected=0, mask=0b1))
+        records.append(make_record(dtype=DataType.INT32, expected=0, mask=0b10))
+        patterns = setting_patterns(records)
+        assert patterns == [0b100]
+
+    def test_pattern_proportion(self):
+        records = [
+            make_record(dtype=DataType.INT32, expected=0, mask=0b100)
+            for _ in range(38)
+        ] + [
+            make_record(dtype=DataType.INT32, expected=0, mask=1 << i)
+            for i in range(2)
+        ]
+        assert pattern_proportion(records) == pytest.approx(38 / 40)
+
+    def test_by_setting_min_records(self):
+        store = RecordStore()
+        for _ in range(3):
+            store.add(make_record(testcase_id="A", mask=0b1))
+        for _ in range(8):
+            store.add(make_record(testcase_id="B", mask=0b1))
+        proportions = pattern_proportions_by_setting(store, min_records=5)
+        assert ("P1", "B") in proportions
+        assert ("P1", "A") not in proportions
+
+    def test_flip_count_distribution(self):
+        store = RecordStore()
+        for _ in range(30):
+            store.add(make_record(dtype=DataType.INT32, expected=0, mask=0b1))
+        for _ in range(10):
+            store.add(make_record(dtype=DataType.INT32, expected=0, mask=0b11))
+        dist = flip_count_distribution(store, DataType.INT32)
+        assert dist["1"] == pytest.approx(0.75)
+        assert dist["2"] == pytest.approx(0.25)
+        assert dist[">2"] == 0.0
+
+
+class TestPrecision:
+    def test_losses_small_for_fraction_flips(self):
+        records = [
+            make_record(dtype=DataType.FLOAT64, expected=1.5, mask=1 << i)
+            for i in range(8)
+        ]
+        losses = precision_losses(records, DataType.FLOAT64)
+        assert all(loss < 1e-10 for loss in losses)
+
+    def test_losses_large_for_int_msb(self):
+        records = [
+            make_record(dtype=DataType.INT32, expected=2, mask=1 << 20)
+        ]
+        losses = precision_losses(records, DataType.INT32)
+        assert losses[0] > 100.0
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            precision_losses([], DataType.BIN32)
+
+    def test_log10_filters_zero_and_inf(self):
+        assert log10_losses([0.0, 1.0, math.inf, 100.0]) == [0.0, 2.0]
+
+    def test_cdf(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert cdf == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_fractions(self):
+        losses = [0.001, 0.01, 0.5, 2.0]
+        assert fraction_below(losses, 0.05) == pytest.approx(0.5)
+        assert fraction_above(losses, 1.0) == pytest.approx(0.25)
+
+    def test_summary(self):
+        records = [
+            make_record(dtype=DataType.FLOAT64, expected=1.5, mask=1)
+            for _ in range(10)
+        ]
+        summary = summarize_precision(records, DataType.FLOAT64)
+        assert summary.count == 10
+        assert summary.below_002pct == pytest.approx(1.0)
+        assert summary.above_100pct == 0.0
+
+    def test_summary_empty(self):
+        summary = summarize_precision([], DataType.FLOAT64)
+        assert summary.count == 0

@@ -1,0 +1,163 @@
+"""Unit tests for Farron's adaptive boundary and backoff controller."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveTemperatureBoundary,
+    BackoffController,
+    BoundaryDecision,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBoundary:
+    def test_ok_below_boundary(self):
+        boundary = AdaptiveTemperatureBoundary(initial_c=50.0)
+        assert boundary.record(45.0) is BoundaryDecision.OK
+        assert boundary.boundary_c == 50.0
+
+    def test_learns_standard_range(self):
+        # §7.1: majority-above windows raise the boundary step by step.
+        boundary = AdaptiveTemperatureBoundary(
+            initial_c=50.0, step_c=1.0, window=8, warmup_samples=0
+        )
+        for _ in range(20):
+            boundary.record(58.0)
+        assert boundary.boundary_c >= 58.0
+
+    def test_excursion_triggers_backoff(self):
+        boundary = AdaptiveTemperatureBoundary(
+            initial_c=50.0, window=8, warmup_samples=0
+        )
+        for _ in range(8):
+            boundary.record(48.0)  # fill window with normal temps
+        assert boundary.record(60.0) is BoundaryDecision.BACKOFF
+
+    def test_warmup_snaps_instead_of_backoff(self):
+        boundary = AdaptiveTemperatureBoundary(
+            initial_c=50.0, window=8, warmup_samples=16, snap_margin_c=1.0
+        )
+        for temp in (45.0, 48.0, 52.0, 56.0):
+            decision = boundary.record(temp)
+            assert decision is not BoundaryDecision.BACKOFF
+        assert boundary.boundary_c >= 56.0
+
+    def test_hard_cap_respected(self):
+        boundary = AdaptiveTemperatureBoundary(
+            initial_c=50.0, hard_cap_c=55.0, window=4, warmup_samples=0
+        )
+        for _ in range(30):
+            boundary.record(90.0)
+        assert boundary.boundary_c == 55.0
+
+    def test_raise_history_recorded(self):
+        boundary = AdaptiveTemperatureBoundary(initial_c=50.0, window=4)
+        for _ in range(6):
+            boundary.record(58.0)
+        assert boundary.raise_history
+
+    def test_reset(self):
+        boundary = AdaptiveTemperatureBoundary(initial_c=50.0, window=4)
+        for _ in range(6):
+            boundary.record(58.0)
+        boundary.reset()
+        assert boundary.boundary_c == 50.0
+        assert boundary.raise_history == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTemperatureBoundary(step_c=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTemperatureBoundary(initial_c=90.0, hard_cap_c=85.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTemperatureBoundary(vote_fraction=1.5)
+
+
+class TestBackoff:
+    def make_controller(self, hold_s=0.0, **boundary_kwargs):
+        defaults = dict(initial_c=50.0, window=8, warmup_samples=0)
+        defaults.update(boundary_kwargs)
+        return BackoffController(
+            AdaptiveTemperatureBoundary(**defaults), hold_s=hold_s
+        )
+
+    def test_hold_down_prevents_chatter(self):
+        controller = self.make_controller(hold_s=60.0)
+        for _ in range(8):
+            controller.step(48.0, 5.0, 0.8)
+        controller.step(65.0, 5.0, 0.8)
+        # Temperature dips below the boundary almost immediately, but
+        # the hold keeps the clamp on (a sustained excursion would
+        # otherwise re-heat instantly).
+        for _ in range(5):
+            assert (
+                controller.step(49.0, 5.0, 0.8)
+                == controller.backoff_utilization
+            )
+        # After the hold elapses and the temperature is low: released.
+        for _ in range(10):
+            controller.step(49.0, 5.0, 0.8)
+        assert not controller.backing_off
+
+    def test_no_backoff_in_normal_range(self):
+        controller = self.make_controller()
+        for _ in range(50):
+            granted = controller.step(45.0, 5.0, 0.8)
+            assert granted == 0.8
+        assert controller.backoff_seconds == 0.0
+
+    def test_excursion_clamps_utilization(self):
+        controller = self.make_controller()
+        for _ in range(8):
+            controller.step(48.0, 5.0, 0.8)
+        granted = controller.step(65.0, 5.0, 0.8)
+        assert granted == controller.backoff_utilization
+
+    def test_backoff_until_below_boundary(self):
+        controller = self.make_controller()
+        for _ in range(8):
+            controller.step(48.0, 5.0, 0.8)
+        controller.step(65.0, 5.0, 0.8)
+        assert controller.backing_off
+        # Still hot: stays backing off.
+        assert controller.step(60.0, 5.0, 0.8) == controller.backoff_utilization
+        # Cooled below the boundary: released.
+        controller.step(49.0, 5.0, 0.8)
+        assert not controller.backing_off
+        assert len(controller.episodes) == 1
+
+    def test_backoff_accounting(self):
+        controller = self.make_controller()
+        for _ in range(8):
+            controller.step(48.0, 10.0, 0.8)
+        controller.step(65.0, 10.0, 0.8)
+        controller.step(60.0, 10.0, 0.8)
+        controller.step(45.0, 10.0, 0.8)
+        assert controller.backoff_seconds == pytest.approx(20.0)
+        assert controller.control_overhead() == pytest.approx(
+            20.0 / controller.total_seconds
+        )
+        assert controller.backoff_seconds_per_hour() > 0
+
+    def test_recovery_samples_not_learned(self):
+        # The fix for the oscillation pathology: throttled temps must
+        # not enter the boundary window.
+        controller = self.make_controller()
+        for _ in range(8):
+            controller.step(48.0, 5.0, 0.8)
+        before = controller.boundary._sample_count
+        controller.step(65.0, 5.0, 0.8)  # recorded (triggers backoff)
+        controller.step(55.0, 5.0, 0.8)  # backing off: NOT recorded
+        controller.step(52.0, 5.0, 0.8)  # backing off: NOT recorded
+        assert controller.boundary._sample_count == before + 1
+
+    def test_validation(self):
+        controller = self.make_controller()
+        with pytest.raises(ConfigurationError):
+            controller.step(50.0, -1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            controller.step(50.0, 1.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            BackoffController(
+                AdaptiveTemperatureBoundary(), backoff_utilization=1.0
+            )

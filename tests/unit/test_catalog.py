@@ -1,0 +1,119 @@
+"""Unit tests for the 27-CPU study catalog."""
+
+import pytest
+
+from repro.analysis import pearson_r
+from repro.cpu import Feature, SDCType, full_catalog, catalog_processor
+from repro.cpu.catalog import (
+    COMPUTATION_STUDY_COUNT,
+    CONSISTENCY_STUDY_COUNT,
+    FIG9_INTERCEPT,
+    FIG9_SLOPE,
+    STUDY_SIZE,
+    generated_catalog,
+    named_catalog,
+)
+from repro.errors import ConfigurationError
+
+
+def test_catalog_size(catalog):
+    # §2.4: 27 CPUs studied in depth.
+    assert len(catalog) == STUDY_SIZE
+
+
+def test_type_split(catalog):
+    # §4.1: 19 computation + 8 consistency.
+    computation = [
+        p for p in catalog.values()
+        if p.defects[0].sdc_type is SDCType.COMPUTATION
+    ]
+    consistency = [
+        p for p in catalog.values()
+        if p.defects[0].sdc_type is SDCType.CONSISTENCY
+    ]
+    assert len(computation) == COMPUTATION_STUDY_COUNT
+    assert len(consistency) == CONSISTENCY_STUDY_COUNT
+
+
+def test_named_catalog_matches_table3(named):
+    # Table 3's hardware details.
+    assert named["MIX1"].arch.name == "M2"
+    assert named["MIX1"].age_years == pytest.approx(1.75)
+    assert len(named["MIX1"].defective_cores()) == 16
+    assert named["MIX2"].age_years == pytest.approx(0.92)
+    assert len(named["SIMD1"].defective_cores()) == 1
+    assert named["SIMD2"].arch.name == "M5"
+    assert named["FPU3"].arch.name == "M3"
+    assert named["FPU4"].arch.name == "M6"
+    assert len(named["CNST2"].defective_cores()) == 24
+
+
+def test_mix1_features_span_types(named):
+    features = named["MIX1"].defective_features()
+    assert Feature.VECTOR in features and Feature.FPU in features
+
+
+def test_cnst1_cache_and_trxmem(named):
+    features = named["CNST1"].defective_features()
+    assert features == frozenset({Feature.CACHE, Feature.TRX_MEM})
+
+
+def test_fpu_suspect_instruction(named):
+    # §4.1: the arctangent instruction is the FPU1/FPU2 suspect.
+    for name in ("FPU1", "FPU2"):
+        assert named[name].defects[0].affects_instruction("FATAN_F64X")
+
+
+def test_simd1_fma_suspect(named):
+    assert named["SIMD1"].defects[0].affects_instruction("VFMA_F32")
+
+
+def test_mix_core_multipliers_span_orders_of_magnitude(named):
+    # Observation 4: per-core frequencies differ by orders of magnitude.
+    multipliers = list(named["MIX1"].defects[0].core_multipliers.values())
+    assert max(multipliers) / min(multipliers) > 100.0
+
+
+def test_fig9_anticorrelation_in_generated():
+    generated = generated_catalog()
+    points = [
+        (p.defects[0].trigger.tmin, p.defects[0].trigger.log10_freq_at_tmin)
+        for p in generated.values()
+    ]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    assert pearson_r(xs, ys) < -0.5
+
+
+def test_single_core_fraction_near_half(catalog):
+    # Observation 4: "In about half of the faulty processors, there
+    # exists only one defective physical core."
+    single = sum(
+        1 for p in catalog.values() if len(p.defective_cores()) == 1
+    )
+    assert 0.3 <= single / len(catalog) <= 0.7
+
+
+def test_lookup_helpers(catalog):
+    assert catalog_processor("MIX1").processor_id == "MIX1"
+    with pytest.raises(ConfigurationError):
+        catalog_processor("NOPE")
+
+
+def test_catalog_deterministic():
+    a = full_catalog()
+    b = full_catalog()
+    assert sorted(a) == sorted(b)
+    for name in a:
+        assert a[name].defects[0].trigger == b[name].defects[0].trigger
+
+
+def test_consistency_defects_have_no_bitflip(catalog):
+    for processor in catalog.values():
+        defect = processor.defects[0]
+        if defect.is_consistency:
+            assert defect.bitflip is None
+            assert defect.instructions == ()
+        else:
+            assert defect.bitflip is not None
+            assert defect.instructions

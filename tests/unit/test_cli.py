@@ -1,0 +1,54 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fleet_study_defaults(self):
+        args = build_parser().parse_args(["fleet-study"])
+        assert args.size == 300_000
+        assert args.seed == 1
+
+    def test_test_command(self):
+        args = build_parser().parse_args(
+            ["test", "MIX1", "--duration", "30", "--preheat", "70"]
+        )
+        assert args.cpu == "MIX1"
+        assert args.duration == 30.0
+        assert args.preheat == 70.0
+
+    def test_version_exits(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_catalog_lists_27(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "MIX1" in out and "CNST2" in out
+        # 27 CPUs plus a three-line header.
+        assert len(out.strip().splitlines()) == 27 + 3
+
+    def test_test_unknown_cpu_fails_cleanly(self, capsys):
+        assert main(["test", "NOPE"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_test_runs_catalog_cpu(self, capsys):
+        assert main(["test", "SIMD1", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMD1" in out
+        assert "detected" in out
+
+    def test_detectors_command(self, capsys):
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-parity" in out
+        assert "AN-coded" in out

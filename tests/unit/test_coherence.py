@@ -1,0 +1,105 @@
+"""Unit tests for the MESI cache-coherence simulator."""
+
+import pytest
+
+from repro.cpu import CoherentSystem, LineState
+from repro.errors import CoherenceError, ConfigurationError
+
+
+class TestHealthyProtocol:
+    def test_read_after_write_same_core(self):
+        system = CoherentSystem(n_cores=2)
+        system.write(0, 10, 42)
+        assert system.read(0, 10) == 42
+
+    def test_read_after_write_other_core(self):
+        system = CoherentSystem(n_cores=2)
+        system.write(0, 10, 42)
+        assert system.read(1, 10) == 42
+
+    def test_write_invalidates_readers(self):
+        system = CoherentSystem(n_cores=3)
+        system.write(0, 5, 1)
+        system.read(1, 5)
+        system.read(2, 5)
+        system.write(0, 5, 2)
+        assert system.line_state(1, 5) is LineState.INVALID
+        assert system.line_state(2, 5) is LineState.INVALID
+        assert system.read(1, 5) == 2
+        assert system.read(2, 5) == 2
+
+    def test_exclusive_then_shared_states(self):
+        system = CoherentSystem(n_cores=2)
+        system.write(0, 1, 9)
+        system.flush(0)
+        assert system.read(0, 1) == 9
+        assert system.line_state(0, 1) is LineState.EXCLUSIVE
+        system.read(1, 1)
+        assert system.line_state(1, 1) is LineState.SHARED
+
+    def test_modified_state_after_write(self):
+        system = CoherentSystem(n_cores=2)
+        system.write(0, 1, 9)
+        assert system.line_state(0, 1) is LineState.MODIFIED
+
+    def test_default_for_uninitialized(self):
+        system = CoherentSystem(n_cores=1)
+        assert system.read(0, 999, default=7) == 7
+
+    def test_flush_writes_back(self):
+        system = CoherentSystem(n_cores=2)
+        system.write(0, 3, 33)
+        system.flush(0)
+        assert system.memory[3] == 33
+        assert system.line_state(0, 3) is LineState.INVALID
+
+    def test_no_violations_when_healthy(self):
+        system = CoherentSystem(n_cores=4)
+        for i in range(200):
+            writer = i % 4
+            system.write(writer, i % 7, i)
+            for reader in range(4):
+                assert system.read(reader, i % 7) == i
+        assert system.violations == []
+
+    def test_core_range_checked(self):
+        system = CoherentSystem(n_cores=2)
+        with pytest.raises(CoherenceError):
+            system.read(5, 0)
+        with pytest.raises(ConfigurationError):
+            CoherentSystem(n_cores=0)
+
+
+class TestDefectiveProtocol:
+    def test_dropped_invalidation_causes_stale_read(self):
+        system = CoherentSystem(
+            n_cores=2, drop_hook=lambda event, core: core == 1
+        )
+        system.write(0, 10, 1)
+        system.read(1, 10)  # core 1 caches value 1
+        system.write(0, 10, 2)  # invalidation to core 1 dropped
+        assert system.read(1, 10) == 1  # stale!
+        assert len(system.violations) == 1
+        violation = system.violations[0]
+        assert violation.core_id == 1
+        assert violation.stale_value == 1
+        assert violation.current_value == 2
+
+    def test_unaffected_core_stays_coherent(self):
+        system = CoherentSystem(
+            n_cores=3, drop_hook=lambda event, core: core == 1
+        )
+        system.write(0, 10, 1)
+        system.read(1, 10)
+        system.read(2, 10)
+        system.write(0, 10, 2)
+        assert system.read(2, 10) == 2
+        assert system.read(1, 10) == 1
+
+    def test_writer_core_never_stale(self):
+        system = CoherentSystem(
+            n_cores=2, drop_hook=lambda event, core: True
+        )
+        system.write(0, 10, 1)
+        system.write(0, 10, 2)
+        assert system.read(0, 10) == 2

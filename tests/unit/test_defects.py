@@ -1,0 +1,110 @@
+"""Unit tests for the defect model's validation and queries."""
+
+import pytest
+
+from repro.cpu import DataType, Defect, DefectScope, Feature, SDCType, TriggerProfile
+from repro.errors import ConfigurationError
+from repro.faults import PositionBiasedBitflip
+
+
+def make_trigger(**overrides):
+    params = dict(tmin=50.0, log10_freq_at_tmin=0.0, temp_slope=0.15)
+    params.update(overrides)
+    return TriggerProfile(**params)
+
+
+def make_computation_defect(**overrides):
+    params = dict(
+        defect_id="d1",
+        features=(Feature.FPU,),
+        scope=DefectScope.SINGLE_CORE,
+        core_ids=(3,),
+        instructions=("FADD_F64",),
+        datatypes=(DataType.FLOAT64,),
+        trigger=make_trigger(),
+        bitflip=PositionBiasedBitflip(),
+    )
+    params.update(overrides)
+    return Defect(**params)
+
+
+class TestValidation:
+    def test_valid_computation_defect(self):
+        defect = make_computation_defect()
+        assert defect.sdc_type is SDCType.COMPUTATION
+
+    def test_mixed_types_rejected(self):
+        # Observation 5: defective features of one CPU always share a type.
+        with pytest.raises(ConfigurationError):
+            make_computation_defect(features=(Feature.FPU, Feature.CACHE))
+
+    def test_computation_without_instructions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_computation_defect(instructions=())
+
+    def test_computation_without_bitflip_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_computation_defect(bitflip=None)
+
+    def test_consistency_with_instructions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Defect(
+                defect_id="c1",
+                features=(Feature.CACHE,),
+                scope=DefectScope.SINGLE_CORE,
+                core_ids=(0,),
+                instructions=("MOV_B64",),
+                datatypes=(),
+                trigger=make_trigger(),
+            )
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_computation_defect(core_ids=())
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trigger(temp_slope=-0.1)
+
+
+class TestQueries:
+    def test_affects_core(self):
+        defect = make_computation_defect(core_ids=(3, 5))
+        assert defect.affects_core(3)
+        assert not defect.affects_core(4)
+
+    def test_core_multiplier_default(self):
+        defect = make_computation_defect(core_ids=(3,))
+        assert defect.core_multiplier(3) == 1.0
+        assert defect.core_multiplier(0) == 0.0
+
+    def test_core_multiplier_explicit(self):
+        defect = make_computation_defect(
+            core_ids=(3, 5), core_multipliers={5: 0.001}
+        )
+        assert defect.core_multiplier(5) == 0.001
+        assert defect.core_multiplier(3) == 1.0
+
+    def test_affects_instruction(self):
+        defect = make_computation_defect()
+        assert defect.affects_instruction("FADD_F64")
+        assert not defect.affects_instruction("FMUL_F64")
+
+    def test_onset(self):
+        defect = make_computation_defect(onset_days=30.0)
+        assert not defect.active_at(10.0)
+        assert defect.active_at(30.0)
+        assert defect.active_at(100.0)
+
+    def test_consistency_defect(self):
+        defect = Defect(
+            defect_id="c1",
+            features=(Feature.TRX_MEM,),
+            scope=DefectScope.ALL_CORES,
+            core_ids=(0, 1),
+            instructions=(),
+            datatypes=(),
+            trigger=make_trigger(),
+        )
+        assert defect.is_consistency
+        assert defect.sdc_type is SDCType.CONSISTENCY

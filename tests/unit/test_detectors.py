@@ -1,0 +1,257 @@
+"""Unit tests for the fault-tolerance detector implementations."""
+
+import zlib
+
+import pytest
+
+from repro.detectors import (
+    DecodeStatus,
+    ReedSolomon,
+    Secded64,
+    crc16,
+    crc32,
+    redundant_execute,
+    verify_crc32,
+)
+from repro.detectors.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_matrix_invert,
+    gf_mul,
+    gf_pow,
+)
+from repro.cpu import ARCHITECTURES, Executor, Processor
+from repro.detectors.redundancy import VoteStatus
+from repro.detectors.prediction import RangePredictor
+from repro.errors import ConfigurationError
+
+from .test_injector_executor import always_defect, faulty_cpu
+
+
+class TestCRC:
+    def test_crc32_matches_zlib(self):
+        for data in (b"", b"a", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_crc16_known_vector(self):
+        # CRC-16/ARC of "123456789" is 0xBB3D.
+        assert crc16(b"123456789") == 0xBB3D
+
+    def test_verify(self):
+        digest = crc32(b"payload")
+        assert verify_crc32(b"payload", digest)
+        assert not verify_crc32(b"paYload", digest)
+
+    def test_accepts_int_sequences(self):
+        assert crc32([104, 105]) == crc32(b"hi")
+
+
+class TestGF256:
+    def test_identity_and_zero(self):
+        assert gf_mul(1, 77) == 77
+        assert gf_mul(0, 77) == 0
+        assert gf_add(9, 9) == 0
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_pow(self):
+        assert gf_pow(2, 0) == 1
+        assert gf_pow(2, 1) == 2
+        assert gf_pow(2, 2) == 4
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(1, 0)
+
+    def test_matrix_inversion_roundtrip(self):
+        matrix = [[1, 2, 3], [4, 5, 6], [7, 9, 8]]
+        inverse = gf_matrix_invert(matrix)
+        # M * M^-1 == I over GF(256).
+        for i in range(3):
+            for j in range(3):
+                value = 0
+                for k in range(3):
+                    value ^= gf_mul(matrix[i][k], inverse[k][j])
+                assert value == (1 if i == j else 0)
+
+    def test_singular_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gf_matrix_invert([[1, 1], [1, 1]])
+
+
+class TestReedSolomon:
+    def test_roundtrip_with_losses(self):
+        rs = ReedSolomon(k=4, m=2)
+        data = [bytes([i * 3 + 1] * 16) for i in range(4)]
+        parity = rs.encode(data)
+        shards = {i: s for i, s in enumerate(data)}
+        shards.update({4 + i: p for i, p in enumerate(parity)})
+        del shards[1], shards[3]
+        assert rs.reconstruct(shards, 16) == data
+
+    def test_too_few_shards_rejected(self):
+        rs = ReedSolomon(k=4, m=2)
+        with pytest.raises(ConfigurationError):
+            rs.reconstruct({0: b"x"}, 1)
+
+    def test_verify_matches_encode(self):
+        rs = ReedSolomon(k=3, m=2)
+        data = [b"abc", b"def", b"ghi"]
+        parity = rs.encode(data)
+        assert rs.verify(data, parity)
+        tampered = [b"abc", b"dXf", b"ghi"]
+        assert not rs.verify(tampered, parity)
+
+    def test_unequal_shards_rejected(self):
+        rs = ReedSolomon(k=2, m=1)
+        with pytest.raises(ConfigurationError):
+            rs.encode([b"ab", b"abc"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReedSolomon(k=0, m=1)
+        with pytest.raises(ConfigurationError):
+            ReedSolomon(k=250, m=10)
+
+
+class TestSecded:
+    def test_clean_roundtrip(self):
+        for data in (0, 1, 0xDEADBEEFCAFEBABE, (1 << 64) - 1):
+            codeword = Secded64.encode(data)
+            result = Secded64.decode(codeword)
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_single_bit_corrected_all_positions(self):
+        data = 0x0123456789ABCDEF
+        codeword = Secded64.encode(data)
+        for position in range(72):
+            result = Secded64.decode(codeword ^ (1 << position), true_data=data)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_double_bit_detected(self):
+        data = 0x0123456789ABCDEF
+        codeword = Secded64.encode(data)
+        result = Secded64.decode(codeword ^ 0b11, true_data=data)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_triple_bit_can_miscorrect(self):
+        # Observation 8's multi-bit flips defeat SECDED: at least one
+        # 3-bit pattern must decode to wrong data marked "corrected".
+        data = 0x0123456789ABCDEF
+        codeword = Secded64.encode(data)
+        saw_miscorrection = False
+        for a in range(0, 20):
+            for b in range(a + 1, 21):
+                for c in range(b + 1, 22):
+                    mask = (1 << a) | (1 << b) | (1 << c)
+                    result = Secded64.decode(codeword ^ mask, true_data=data)
+                    if result.status is DecodeStatus.MISCORRECTED:
+                        saw_miscorrection = True
+                        assert result.data != data
+        assert saw_miscorrection
+
+    def test_encode_validation(self):
+        with pytest.raises(ConfigurationError):
+            Secded64.encode(1 << 64)
+
+
+class TestRedundancy:
+    def test_agreement_on_healthy(self):
+        executor = Executor(Processor("H", ARCHITECTURES["M2"]))
+        result = redundant_execute(
+            executor, "FADD_F64", (1.0, 2.0), cores=[0, 1]
+        )
+        assert result.status is VoteStatus.AGREEMENT
+        assert result.value == 3.0
+
+    def test_dmr_detects_divergence(self):
+        executor = Executor(faulty_cpu(), time_compression=1e12)
+        result = redundant_execute(
+            executor, "FADD_F64", (1.0, 2.0), cores=[3, 1],
+            temperature_c=70.0,
+        )
+        assert result.status is VoteStatus.DETECTED_DIVERGENCE
+        assert result.value is None
+
+    def test_tmr_corrects_single_replica(self):
+        executor = Executor(faulty_cpu(), time_compression=1e12)
+        result = redundant_execute(
+            executor, "FADD_F64", (1.0, 2.0), cores=[3, 1, 2],
+            temperature_c=70.0,
+        )
+        assert result.status is VoteStatus.CORRECTED_BY_VOTE
+        assert result.value == 3.0
+        assert result.overhead_factor == 3
+
+    def test_all_core_defect_defeats_tmr(self):
+        defect = always_defect(core_ids=(0, 1, 2))
+        cpu = Processor("X", ARCHITECTURES["M2"], defects=(defect,))
+        executor = Executor(cpu, time_compression=1e12)
+        result = redundant_execute(
+            executor, "FADD_F64", (1.0, 2.0), cores=[0, 1, 2],
+            temperature_c=70.0,
+        )
+        # Replicas corrupt independently → no honest majority
+        # (different masks) or a wrong agreement; either way TMR loses.
+        assert result.status in (
+            VoteStatus.VOTE_FAILED,
+            VoteStatus.CORRECTED_BY_VOTE,
+        )
+
+    def test_needs_two_cores(self):
+        executor = Executor(Processor("H", ARCHITECTURES["M2"]))
+        with pytest.raises(ConfigurationError):
+            redundant_execute(executor, "FADD_F64", (1.0, 2.0), cores=[0])
+
+
+class TestFaultyEncoder:
+    def test_silent_rebuilds_dominate(self):
+        from repro.detectors import erasure_faulty_encoder_experiment
+
+        report = erasure_faulty_encoder_experiment(trials=40)
+        assert report.parity_corrupted > 0
+        assert report.silent_rebuild_rate > 0.5
+
+    def test_zero_probability_never_corrupts(self):
+        from repro.detectors import erasure_faulty_encoder_experiment
+
+        report = erasure_faulty_encoder_experiment(
+            trials=10, corruption_probability=0.0
+        )
+        assert report.parity_corrupted == 0
+        assert report.silent_rebuild_rate == 0.0
+
+
+class TestRangePredictor:
+    def test_learns_then_flags_outlier(self):
+        predictor = RangePredictor(window=8, tolerance=0.01)
+        for value in (10.0, 10.1, 10.2, 9.9, 10.0):
+            assert not predictor.observe(value).flagged
+        assert predictor.observe(50.0).flagged
+
+    def test_minor_loss_missed(self):
+        # Observation 7: tiny float losses sit inside the envelope.
+        predictor = RangePredictor(window=8, tolerance=0.05)
+        for value in (10.0, 10.5, 9.5, 10.2):
+            predictor.observe(value)
+        corrupted = 10.0 * (1.0 + 1e-6)
+        assert not predictor.observe(corrupted).flagged
+
+    def test_flagged_values_not_learned(self):
+        predictor = RangePredictor(window=4, tolerance=0.0)
+        for value in (10.0, 10.0, 10.0):
+            predictor.observe(value)
+        predictor.observe(100.0)
+        low, high = predictor.bounds()
+        assert high < 50.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RangePredictor(window=1)
+        with pytest.raises(ConfigurationError):
+            RangePredictor(tolerance=-0.1)

@@ -1,0 +1,87 @@
+"""Unit tests for the §7.2 evaluation harness pieces."""
+
+import pytest
+
+from repro.core import ApplicationProfile, CoverageResult, simulate_online
+from repro.core.evaluation import coverage_experiment
+from repro.cpu import ARCHITECTURES, Feature, Processor
+from repro.errors import ConfigurationError
+
+
+class TestApplicationProfile:
+    def make_app(self, **overrides):
+        params = dict(
+            name="app",
+            features=frozenset({Feature.FPU}),
+            instruction_usage={"FATAN_F64X": 8.0e5},
+        )
+        params.update(overrides)
+        return ApplicationProfile(**params)
+
+    def test_spikes_land_at_period_end(self):
+        app = self.make_app(
+            base_utilization=0.3,
+            spike_utilization=0.9,
+            spike_period_s=1000.0,
+            spike_duration_s=100.0,
+        )
+        assert app.requested_utilization(0.0) == 0.3
+        assert app.requested_utilization(450.0) == 0.3
+        assert app.requested_utilization(950.0) == 0.9
+        assert app.requested_utilization(1450.0) == 0.3
+
+    def test_zero_period_means_steady(self):
+        app = self.make_app(spike_period_s=0.0)
+        assert app.requested_utilization(12345.0) == app.base_utilization
+
+
+class TestCoverageResult:
+    def test_coverage_math(self):
+        result = CoverageResult("P", "farron", 10, 7, 3600.0)
+        assert result.coverage == pytest.approx(0.7)
+
+    def test_zero_known_is_nan(self):
+        import math
+
+        result = CoverageResult("P", "farron", 0, 0, 3600.0)
+        assert math.isnan(result.coverage)
+
+
+class TestSimulateOnline:
+    def test_healthy_processor_never_sdc(self, library):
+        app = ApplicationProfile(
+            name="clean",
+            features=frozenset({Feature.FPU}),
+            instruction_usage={"FATAN_F64X": 8.0e5},
+        )
+        healthy = Processor("H", ARCHITECTURES["M5"])
+        result = simulate_online(
+            healthy, app, hours=2, protected=True, library=library
+        )
+        assert result.sdc_count == 0
+
+    def test_requires_farron_or_library(self, catalog):
+        app = ApplicationProfile(
+            name="x",
+            features=frozenset({Feature.FPU}),
+            instruction_usage={},
+        )
+        with pytest.raises(ConfigurationError):
+            simulate_online(catalog["FPU1"], app, hours=1)
+
+    def test_invalid_hours(self, catalog, library):
+        app = ApplicationProfile(
+            name="x",
+            features=frozenset({Feature.FPU}),
+            instruction_usage={},
+        )
+        with pytest.raises(ConfigurationError):
+            simulate_online(
+                catalog["FPU1"], app, hours=0, library=library
+            )
+
+    def test_unknown_strategy_rejected(self, catalog, library):
+        with pytest.raises(ConfigurationError):
+            coverage_experiment(
+                catalog["FPU1"], library, "magic", known=set()
+            )

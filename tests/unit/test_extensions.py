@@ -1,0 +1,171 @@
+"""Unit tests for the extension modules: alternative toolchain, AN
+codes, location-aware guard, injection campaigns, salvage accounting."""
+
+import pytest
+
+from repro.cpu import ARCHITECTURES, Feature, Processor
+from repro.cpu.catalog import _defect
+from repro.cpu.defects import DefectScope
+from repro.detectors import (
+    ANCode,
+    LocationAwareGuard,
+    an_code_experiment,
+    guard_experiment,
+)
+from repro.errors import ConfigurationError
+from repro.faults import (
+    IIDBitflip,
+    InjectionCampaign,
+    PositionBiasedBitflip,
+    compare_failure_models,
+)
+from repro.fleet import salvage_study
+from repro.testing import (
+    ALT_TOOLCHAIN_SIZE,
+    ToolchainRunner,
+    build_open_library,
+)
+
+
+class TestOpenToolchain:
+    def test_size_and_determinism(self):
+        library = build_open_library()
+        assert len(library) == ALT_TOOLCHAIN_SIZE
+        assert build_open_library().ids() == library.ids()
+
+    def test_distinct_from_vendor_library(self, library):
+        open_library = build_open_library()
+        assert set(open_library.ids()).isdisjoint(set(library.ids()))
+        assert len(open_library) != len(library)
+
+    def test_covers_all_instructions_with_loops(self):
+        from repro.cpu import DEFAULT_ISA
+
+        open_library = build_open_library()
+        for mnemonic, instruction in DEFAULT_ISA.instructions.items():
+            if instruction.features[0] in (Feature.CACHE, Feature.TRX_MEM):
+                continue
+            assert any(
+                tc.instruction_mix.get(mnemonic, 0) >= 0.5
+                for tc in open_library.loops()
+            ), mnemonic
+
+    def test_detects_same_catalog_cpus(self, catalog):
+        # §6.1: the alternative toolchain reaches the same observations.
+        open_library = build_open_library()
+        for name in ("SIMD1", "FPU1", "CNST2"):
+            runner = ToolchainRunner(catalog[name])
+            assert any(
+                runner.can_ever_fail(tc) for tc in open_library
+            ), name
+
+
+class TestANCode:
+    def test_roundtrip(self):
+        code = ANCode()
+        assert code.decode(code.encode(12345)) == 12345
+
+    def test_addition_preserves_form(self):
+        code = ANCode()
+        total = code.add(code.encode(10), code.encode(32))
+        assert code.decode(total) == 42
+
+    def test_flip_detected(self):
+        code = ANCode()
+        encoded = code.encode(1000)
+        assert not code.is_valid(encoded ^ (1 << 7))
+
+    def test_decode_raises_on_corruption(self):
+        code = ANCode()
+        with pytest.raises(ConfigurationError):
+            code.decode(code.encode(5) ^ 1)
+
+    def test_even_a_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ANCode(a=100)
+
+    def test_experiment_beats_post_hoc_crc(self):
+        report = an_code_experiment(trials=400)
+        assert report.an_detection_rate > 0.99
+        assert report.crc_detection_rate == 0.0
+
+
+class TestLocationAwareGuard:
+    def test_clean_value_passes(self):
+        guard = LocationAwareGuard()
+        assert guard.check(3.14159, guard.digest(3.14159))
+
+    def test_band_flip_detected(self):
+        from repro.cpu import DataType
+        from repro.cpu.datatypes import decode, encode
+
+        guard = LocationAwareGuard()
+        value = 123.456
+        digest = guard.digest(value)
+        corrupted = decode(
+            encode(value, DataType.FLOAT64) ^ (1 << 20), DataType.FLOAT64
+        )
+        assert not guard.check(corrupted, digest)
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            LocationAwareGuard(band_low=10, band_high=60)
+
+    def test_exploits_location_preference(self):
+        study = guard_experiment(trials=800)
+        iid = guard_experiment(trials=800, bitflip_model=IIDBitflip())
+        # The 16-bit guard is tuned to where study flips land.
+        assert study.detection_rate > 0.9
+        assert study.detection_rate > iid.detection_rate + 0.1
+
+
+class TestInjectionCampaign:
+    def test_campaign_runs_and_counts(self):
+        campaign = InjectionCampaign(PositionBiasedBitflip(), "study", seed=1)
+        result = campaign.run(runs=100)
+        assert result.injections == 100
+        assert result.non_finite + len(result.relative_errors) == 100
+
+    def test_iid_overestimates_visible_damage(self):
+        study, iid = compare_failure_models(runs=500)
+        # The IID injector produces much larger application errors than
+        # the production flip model — §4.2's injector-design deficiency.
+        assert iid.median_error() > 10.0 * study.median_error()
+
+    def test_vector_len_validated(self):
+        with pytest.raises(ConfigurationError):
+            InjectionCampaign(IIDBitflip(), "x", vector_len=1)
+
+
+class TestSalvage:
+    def _cpu(self, name, defective_cores):
+        arch = ARCHITECTURES["M2"]
+        defect = _defect(
+            name, (Feature.FPU,), arch, DefectScope.SINGLE_CORE,
+            ("FADD_F64",), tmin=50.0, log10_f0=0.0, slope=0.1,
+            cores=tuple(defective_cores),
+        )
+        return Processor(name, arch, defects=(defect,))
+
+    def test_single_core_cpus_salvaged(self):
+        faulty = [self._cpu(f"P{i}", [i % 16]) for i in range(4)]
+        report = salvage_study(faulty)
+        assert report.processors_kept == 4
+        assert report.processors_deprecated == 0
+        assert report.cores_lost_fine_grained == 4
+        assert report.cores_lost_whole_processor == 64
+        assert report.cores_salvaged == 60
+        assert report.salvage_fraction == pytest.approx(60 / 64)
+
+    def test_many_core_defects_deprecated(self):
+        faulty = [self._cpu("P0", [0, 1, 2, 3])]
+        report = salvage_study(faulty)
+        assert report.processors_deprecated == 1
+        assert report.cores_salvaged == 0
+
+    def test_catalog_salvage_positive(self, catalog):
+        report = salvage_study(catalog.values())
+        # About half the study CPUs have a single defective core
+        # (Observation 4): fine-grained decommission saves real capacity.
+        assert report.processors_kept > 0
+        assert report.salvage_fraction > 0.2

@@ -1,0 +1,90 @@
+"""Unit tests for the Farron facade and the Alibaba baseline."""
+
+import pytest
+
+from repro.core import AlibabaBaseline, Farron, ProcessorStatus
+from repro.cpu import ARCHITECTURES, Feature, Processor
+from repro.errors import ConfigurationError
+from repro.testing import TestFramework
+from repro.units import THREE_MONTHS_SECONDS
+
+
+@pytest.fixture()
+def farron(library):
+    return Farron(library)
+
+
+class TestFarronWorkflow:
+    def test_healthy_cpu_goes_online(self, farron):
+        healthy = Processor("H1", ARCHITECTURES["M5"])
+        outcome = farron.pre_production_test(healthy)
+        assert not outcome.detected
+        assert outcome.status is ProcessorStatus.ONLINE
+        assert farron.pool.entry("H1").available_cores()
+
+    def test_single_core_faulty_gets_masked(self, farron, catalog):
+        outcome = farron.pre_production_test(catalog["SIMD1"])
+        assert outcome.detected
+        assert outcome.status is ProcessorStatus.ONLINE
+        assert outcome.newly_masked_cores == (3,)
+        # The suspected priority database learned this CPU's testcases.
+        assert farron.priorities.suspected_for("SIMD1")
+
+    def test_many_core_faulty_deprecated(self, farron, catalog):
+        outcome = farron.pre_production_test(catalog["MIX2"])
+        assert outcome.detected
+        assert outcome.status is ProcessorStatus.DEPRECATED
+        assert len(outcome.newly_masked_cores) > 2
+
+    def test_regular_test_on_clean_cpu(self, farron):
+        healthy = Processor("H2", ARCHITECTURES["M5"])
+        farron.pre_production_test(healthy)
+        outcome = farron.regular_test("H2", app_features={Feature.FPU})
+        assert not outcome.detected
+        assert outcome.status is ProcessorStatus.ONLINE
+        # Efficiency: the round is far below the 10.55 h baseline.
+        assert outcome.round_duration_s < 4 * 3600.0
+
+    def test_regular_test_deprecated_rejected(self, farron, catalog):
+        farron.pre_production_test(catalog["MIX2"])
+        if farron.pool.entry("MIX2").status is ProcessorStatus.DEPRECATED:
+            with pytest.raises(ConfigurationError):
+                farron.regular_test("MIX2")
+
+    def test_testing_overhead(self, farron):
+        overhead = farron.testing_overhead(3600.0)
+        assert overhead == pytest.approx(3600.0 / THREE_MONTHS_SECONDS)
+
+    def test_boundary_and_controller_cached(self, farron):
+        boundary = farron.boundary_for("X")
+        assert farron.boundary_for("X") is boundary
+        controller = farron.controller_for("X")
+        assert farron.controller_for("X") is controller
+        assert controller.boundary is boundary
+
+
+class TestBaseline:
+    def test_overhead_matches_paper(self, library):
+        baseline = AlibabaBaseline(library)
+        # Table 4: the baseline testing overhead is 0.488%.
+        assert baseline.testing_overhead() == pytest.approx(0.00488, rel=0.01)
+
+    def test_detection_deprecates_whole_processor(self, library, catalog):
+        baseline = AlibabaBaseline(library)
+        outcome = baseline.regular_test(catalog["SIMD1"])
+        assert outcome.detected
+        assert outcome.deprecated
+        with pytest.raises(ConfigurationError):
+            baseline.regular_test(catalog["SIMD1"])
+
+    def test_healthy_cpu_kept(self, library):
+        baseline = AlibabaBaseline(library)
+        healthy = Processor("H", ARCHITECTURES["M5"])
+        outcome = baseline.regular_test(healthy)
+        assert not outcome.deprecated
+        assert outcome.round_duration_s == pytest.approx(60.0 * len(library))
+
+    def test_pre_production(self, library, catalog):
+        baseline = AlibabaBaseline(library)
+        outcome = baseline.pre_production_test(catalog["FPU1"])
+        assert outcome.detected and outcome.deprecated

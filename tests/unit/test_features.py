@@ -1,0 +1,69 @@
+"""Unit tests for features, SDC types, and data type metadata."""
+
+import pytest
+
+from repro.cpu import (
+    COMPUTATION_FEATURES,
+    CONSISTENCY_FEATURES,
+    DataType,
+    FEATURE_DATATYPES,
+    Feature,
+    SDCType,
+    VULNERABLE_FEATURES,
+    sdc_type_of,
+)
+
+
+def test_five_vulnerable_features():
+    # Observation 5 names exactly five vulnerable features.
+    assert len(VULNERABLE_FEATURES) == 5
+    assert VULNERABLE_FEATURES == COMPUTATION_FEATURES | CONSISTENCY_FEATURES
+
+
+def test_computation_consistency_partition():
+    assert not (COMPUTATION_FEATURES & CONSISTENCY_FEATURES)
+
+
+def test_sdc_type_classification():
+    assert sdc_type_of(Feature.FPU) is SDCType.COMPUTATION
+    assert sdc_type_of(Feature.VECTOR) is SDCType.COMPUTATION
+    assert sdc_type_of(Feature.ALU) is SDCType.COMPUTATION
+    assert sdc_type_of(Feature.CACHE) is SDCType.CONSISTENCY
+    assert sdc_type_of(Feature.TRX_MEM) is SDCType.CONSISTENCY
+
+
+def test_non_vulnerable_feature_has_no_sdc_type():
+    with pytest.raises(ValueError):
+        sdc_type_of(Feature.BRANCH)
+
+
+def test_datatype_widths():
+    assert DataType.INT16.width == 16
+    assert DataType.FLOAT64X.width == 80
+    assert DataType.BIT.width == 1
+    assert DataType.BIN64.width == 64
+
+
+def test_float_fields():
+    assert DataType.FLOAT32.float_fields == (8, 23)
+    assert DataType.FLOAT64.float_fields == (11, 52)
+    assert DataType.FLOAT64X.float_fields == (15, 63)
+
+
+def test_float_fields_rejected_for_ints():
+    with pytest.raises(ValueError):
+        DataType.INT32.float_fields
+
+
+def test_numeric_flags():
+    assert DataType.FLOAT32.is_numeric
+    assert DataType.INT16.is_numeric and DataType.INT16.is_signed
+    assert DataType.UINT32.is_integer and not DataType.UINT32.is_signed
+    assert not DataType.BIN32.is_numeric
+
+
+def test_feature_datatype_map_covers_computation_features():
+    for feature in COMPUTATION_FEATURES:
+        assert FEATURE_DATATYPES[feature]
+    # Consistency features corrupt via staleness, not result datatypes.
+    assert FEATURE_DATATYPES[Feature.CACHE] == ()

@@ -1,0 +1,75 @@
+"""Unit tests for the test framework (plans, execution, reports)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testing import PlanEntry, TestFramework, TestPlan
+
+
+class TestPlans:
+    def test_equal_allocation_covers_all(self, framework, library):
+        plan = framework.equal_allocation_plan(60.0)
+        assert len(plan.entries) == len(library)
+        assert plan.total_duration_s == pytest.approx(60.0 * 633)
+        # The paper's 10.55 h baseline round.
+        assert plan.total_duration_s / 3600.0 == pytest.approx(10.55, rel=1e-3)
+
+    def test_selected_subset(self, framework, library):
+        ids = library.ids()[:10]
+        plan = framework.equal_allocation_plan(30.0, testcase_ids=ids)
+        assert plan.testcase_ids() == ids
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanEntry("TC-X", -1.0)
+
+
+class TestExecution:
+    def test_execute_faulty(self, framework, catalog, library):
+        ids = [
+            tc.testcase_id
+            for tc in library.loops()
+            if tc.instruction_mix.get("VFMA_F32", 0) >= 0.5
+        ]
+        plan = TestPlan(
+            entries=[PlanEntry(i, 300.0) for i in ids], preheat_to_c=70.0
+        )
+        report = framework.execute(plan, catalog["SIMD1"])
+        assert report.detected
+        assert report.failed_testcase_ids <= set(ids)
+        assert report.error_count == len(report.store.records)
+        assert report.total_duration_s == pytest.approx(300.0 * len(ids))
+
+    def test_execute_healthy(self, framework, catalog, library):
+        healthy = catalog["SIMD1"].with_masked_cores(range(12))
+        plan = framework.equal_allocation_plan(
+            10.0, testcase_ids=library.ids()[:20]
+        )
+        report = framework.execute(plan, healthy)
+        assert not report.detected
+        assert report.failed_settings() == set()
+
+    def test_preheat_raises_start_temp(self, framework, catalog, library):
+        tc_ids = library.ids()[:1]
+        cold = TestPlan(entries=[PlanEntry(tc_ids[0], 30.0)])
+        hot = TestPlan(entries=[PlanEntry(tc_ids[0], 30.0)], preheat_to_c=75.0)
+        runner_cold = framework.runner_for(catalog["MIX1"])
+        framework.execute(cold, catalog["MIX1"], runner=runner_cold)
+        runner_hot = framework.runner_for(catalog["MIX1"])
+        framework.execute(hot, catalog["MIX1"], runner=runner_hot)
+        assert runner_hot.thermal.package_temp > runner_cold.thermal.package_temp
+
+    def test_known_failing_settings_superset_of_round(
+        self, framework, catalog
+    ):
+        known = framework.known_failing_settings(
+            catalog["SIMD1"], generous_duration_s=600.0
+        )
+        assert known
+        plan = framework.equal_allocation_plan(60.0)
+        report = framework.execute(plan, catalog["SIMD1"])
+        # One short round cannot find settings that generous hot testing
+        # did not; overlap must be contained.
+        assert report.failed_settings() <= known or len(
+            report.failed_settings() - known
+        ) <= 2

@@ -1,0 +1,49 @@
+"""Additional framework/population edge-case tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetSpec
+from repro.testing import TestFramework, ToolchainRunner
+
+
+class TestFrameworkValidation:
+    def test_bad_heat_scale_rejected(self, catalog):
+        with pytest.raises(ConfigurationError):
+            ToolchainRunner(catalog["MIX1"], heat_scale=0.0)
+
+    def test_framework_heat_scale_propagates(self, library, catalog):
+        framework = TestFramework(library, heat_scale=0.5)
+        runner = framework.runner_for(catalog["MIX1"])
+        assert runner.heat_scale == 0.5
+
+    def test_known_failing_settings_empty_for_healthy(self, library, catalog):
+        healthy = catalog["SIMD1"].with_masked_cores(range(12))
+        framework = TestFramework(library)
+        assert framework.known_failing_settings(healthy) == set()
+
+
+class TestFleetSpecShares:
+    def test_default_shares_sum_to_one(self):
+        shares = FleetSpec().resolved_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # Newer architectures deployed in larger volume.
+        assert shares["M9"] > shares["M1"]
+
+    def test_custom_shares_validated(self):
+        spec = FleetSpec(arch_shares={f"M{i}": 1 / 9 for i in range(1, 10)})
+        assert sum(spec.resolved_shares().values()) == pytest.approx(1.0)
+        bad = FleetSpec(arch_shares={"M1": 0.5})
+        with pytest.raises(ConfigurationError):
+            bad.resolved_shares()
+
+
+class TestTriggerCache:
+    def test_behaviour_cache_hit(self, catalog):
+        from repro.faults import TriggerModel
+
+        model = TriggerModel()
+        defect = catalog["MIX1"].defects[0]
+        first = model.behaviour(defect, "TC-X")
+        assert model.behaviour(defect, "TC-X") is first
+        assert model.behaviour(defect, "TC-Y") is not first

@@ -1,0 +1,140 @@
+"""Unit tests for the fault injector and the concrete executor."""
+
+import pytest
+
+from repro.cpu import ARCHITECTURES, DEFAULT_ISA, DataType, Executor, Processor
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector
+from repro.rng import substream
+
+from .test_defects import make_computation_defect, make_trigger
+
+
+def always_defect(**overrides):
+    """A defect with certain triggering at any usage/temperature."""
+    params = dict(
+        trigger=make_trigger(
+            tmin=0.0, log10_freq_at_tmin=12.0, temp_slope=0.1,
+            tmin_jitter=0.0, freq_jitter=0.0, stress_exponent=0.0,
+        ),
+    )
+    params.update(overrides)
+    return make_computation_defect(**params)
+
+
+def faulty_cpu(defect=None):
+    return Processor("X", ARCHITECTURES["M2"], defects=(defect or always_defect(),))
+
+
+class TestInjector:
+    def test_defects_for_matching(self):
+        cpu = faulty_cpu()
+        injector = FaultInjector(cpu)
+        fadd = DEFAULT_ISA["FADD_F64"]
+        assert injector.defects_for(fadd, 3)
+        assert not injector.defects_for(fadd, 0)  # wrong core
+        assert not injector.defects_for(DEFAULT_ISA["FMUL_F64"], 3)
+
+    def test_masked_core_immune(self):
+        cpu = faulty_cpu().with_masked_cores([3])
+        injector = FaultInjector(cpu)
+        assert not injector.defects_for(DEFAULT_ISA["FADD_F64"], 3)
+
+    def test_materialize_produces_flip(self):
+        cpu = faulty_cpu()
+        injector = FaultInjector(cpu)
+        rng = substream(1, "inj")
+        event = injector.materialize(
+            cpu.defects[0], DEFAULT_ISA["FADD_F64"], 2.5, rng
+        )
+        assert event.expected == 2.5
+        assert event.actual != 2.5
+        assert event.mask != 0
+        assert event.dtype is DataType.FLOAT64
+
+    def test_materialize_wrong_dtype_rejected(self):
+        cpu = faulty_cpu()
+        injector = FaultInjector(cpu)
+        rng = substream(1, "inj")
+        with pytest.raises(ConfigurationError):
+            injector.materialize(
+                cpu.defects[0], DEFAULT_ISA["ADD_I32"], 1, rng
+            )
+
+    def test_maybe_corrupt_certain(self):
+        cpu = faulty_cpu()
+        injector = FaultInjector(cpu)
+        rng = substream(1, "inj")
+        # With a saturated per-minute frequency the per-execution
+        # probability is still small; use scale to force certainty.
+        value, event = injector.maybe_corrupt(
+            DEFAULT_ISA["FADD_F64"], 2.5, 3, 80.0, 9.0e5, "s", rng,
+            scale=1e12,
+        )
+        assert event is not None
+        assert value == event.actual
+
+
+class TestExecutor:
+    def test_golden_matches_python(self):
+        cpu = Processor("H", ARCHITECTURES["M2"])
+        executor = Executor(cpu)
+        program = [("ADD_I32", (1, 2)), ("FMUL_F64", (3.0, 4.0))]
+        assert executor.golden(program) == [3, 12.0]
+
+    def test_healthy_run_never_corrupts(self):
+        cpu = Processor("H", ARCHITECTURES["M2"])
+        executor = Executor(cpu)
+        result = executor.run([("FADD_F64", (1.0, 2.0))] * 100, pcore_id=0)
+        assert not result.corrupted
+        assert result.values == [3.0] * 100
+
+    def test_faulty_core_corrupts_with_compression(self):
+        executor = Executor(faulty_cpu(), time_compression=1e12)
+        result = executor.run(
+            [("FADD_F64", (1.0, 2.0))] * 50, pcore_id=3, temperature_c=70.0
+        )
+        assert result.corrupted
+        assert any(v != 3.0 for v in result.values)
+
+    def test_other_core_unaffected(self):
+        executor = Executor(faulty_cpu(), time_compression=1e12)
+        result = executor.run(
+            [("FADD_F64", (1.0, 2.0))] * 50, pcore_id=1, temperature_c=70.0
+        )
+        assert not result.corrupted
+
+    def test_usage_dilution_suppresses(self):
+        # The defective instruction appears once among many others: its
+        # usage falls below the floor and nothing triggers (§5).
+        executor = Executor(faulty_cpu(), time_compression=1e12)
+        filler = [("MOV_B64", (7,))] * 99
+        program = filler + [("FADD_F64", (1.0, 2.0))]
+        result = executor.run(program, pcore_id=3, temperature_c=70.0)
+        assert not result.corrupted
+
+    def test_instruction_counts_and_heat(self):
+        cpu = Processor("H", ARCHITECTURES["M2"])
+        executor = Executor(cpu)
+        result = executor.run([("ADD_I32", (1, 2))] * 10, pcore_id=0)
+        assert result.instruction_counts == {"ADD_I32": 10}
+        assert result.heat_units == pytest.approx(10 * DEFAULT_ISA["ADD_I32"].heat)
+
+    def test_core_out_of_range(self):
+        executor = Executor(Processor("H", ARCHITECTURES["M1"]))
+        with pytest.raises(ConfigurationError):
+            executor.run([("ADD_I32", (1, 2))], pcore_id=99)
+
+    def test_final_property(self):
+        executor = Executor(Processor("H", ARCHITECTURES["M1"]))
+        result = executor.run([("ADD_I32", (1, 2)), ("ADD_I32", (3, 4))])
+        assert result.final == 7
+
+    def test_bad_time_compression(self):
+        with pytest.raises(ConfigurationError):
+            Executor(Processor("H", ARCHITECTURES["M1"]), time_compression=0.0)
+
+    def test_run_reduction(self):
+        executor = Executor(Processor("H", ARCHITECTURES["M1"]))
+        result = executor.run_reduction("ADD_I32", [(1, 2), (3, 4)])
+        assert result.values == [3, 7]

@@ -1,0 +1,148 @@
+"""Unit tests for the instruction set semantics."""
+
+import math
+import zlib
+
+import pytest
+
+from repro.cpu import DEFAULT_ISA, DataType, Feature
+from repro.cpu.isa import ISA, Instruction
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert DEFAULT_ISA["ADD_I32"].mnemonic == "ADD_I32"
+
+    def test_unknown_instruction(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_ISA["NOT_AN_INSTRUCTION"]
+
+    def test_contains(self):
+        assert "FATAN_F64X" in DEFAULT_ISA
+        assert "NOPE" not in DEFAULT_ISA
+
+    def test_duplicate_rejected(self):
+        isa = ISA()
+        inst = Instruction("X", (Feature.ALU,), DataType.INT32, 1, lambda a: a)
+        isa.register(inst)
+        with pytest.raises(ConfigurationError):
+            isa.register(inst)
+
+    def test_by_feature(self):
+        fpu = DEFAULT_ISA.by_feature(Feature.FPU)
+        assert any(i.mnemonic == "FATAN_F64X" for i in fpu)
+        # Fused vector/FPU ops appear under both features (MIX1's defect
+        # mechanism, §4.1).
+        vec = DEFAULT_ISA.by_feature(Feature.VECTOR)
+        assert any(i.mnemonic == "VFMA_F32" for i in vec)
+        assert any(i.mnemonic == "VFMA_F32" for i in fpu)
+
+    def test_every_instruction_result_encodable(self):
+        # Each instruction's dtype must be a declared DataType width.
+        for instruction in DEFAULT_ISA.instructions.values():
+            assert instruction.dtype.width >= 1
+
+
+class TestIntegerSemantics:
+    def test_add_wraps(self):
+        assert DEFAULT_ISA["ADD_I32"].execute(2**31 - 1, 1) == -(2**31)
+
+    def test_sub(self):
+        assert DEFAULT_ISA["SUB_I32"].execute(5, 9) == -4
+
+    def test_mul_i16_wraps(self):
+        # 300 * 300 = 90000 ≡ 24464 (mod 2^16), below the sign bit.
+        assert DEFAULT_ISA["MUL_I16"].execute(300, 300) == 24464
+        # 256 * 128 = 32768 wraps to the most negative int16.
+        assert DEFAULT_ISA["MUL_I16"].execute(256, 128) == -32768
+
+    def test_mul_u32_wraps(self):
+        assert DEFAULT_ISA["MUL_U32"].execute(2**31, 2) == 0
+
+    def test_logic_ops(self):
+        assert DEFAULT_ISA["AND_B64"].execute(0b1100, 0b1010) == 0b1000
+        assert DEFAULT_ISA["OR_B64"].execute(0b1100, 0b1010) == 0b1110
+        assert DEFAULT_ISA["XOR_B64"].execute(0b1100, 0b1010) == 0b0110
+
+    def test_shifts(self):
+        assert DEFAULT_ISA["SHL_U32"].execute(1, 31) == 1 << 31
+        assert DEFAULT_ISA["SHL_U32"].execute(1, 32) == 1  # mod-32 like x86
+        assert DEFAULT_ISA["SHR_U32"].execute(0x80000000, 31) == 1
+
+    def test_popcnt(self):
+        assert DEFAULT_ISA["POPCNT_B64"].execute(0xFF) == 8
+        assert DEFAULT_ISA["POPCNT_B64"].execute(0) == 0
+
+    def test_adc_carry(self):
+        full = (1 << 64) - 1
+        assert DEFAULT_ISA["ADC_B64"].execute(full, 0, 1) == 0
+        assert DEFAULT_ISA["ADC_B64"].execute(1, 2, 1) == 4
+
+    def test_cmp_bit(self):
+        assert DEFAULT_ISA["CMP_BIT"].execute(1, 1) == 1
+        assert DEFAULT_ISA["CMP_BIT"].execute(1, 0) == 0
+
+    def test_pack_b16(self):
+        assert DEFAULT_ISA["PACK_B16"].execute(0xAB, 0xCD) == 0xABCD
+
+
+class TestFloatSemantics:
+    def test_fma(self):
+        assert DEFAULT_ISA["VFMA_F64"].execute(2.0, 3.0, 1.0) == 7.0
+
+    def test_f32_storage_rounding(self):
+        # VADD_F32 rounds through 32-bit storage.
+        result = DEFAULT_ISA["VADD_F32"].execute(0.1, 0.2)
+        assert result != 0.1 + 0.2  # double sum differs from f32 sum
+        assert result == pytest.approx(0.3, rel=1e-6)
+
+    def test_atan(self):
+        assert DEFAULT_ISA["FATAN_F64X"].execute(1.0) == math.atan(1.0)
+
+    def test_div_by_zero_is_inf(self):
+        assert DEFAULT_ISA["FDIV_F32"].execute(1.0, 0.0) == math.inf
+
+    def test_sqrt_abs(self):
+        assert DEFAULT_ISA["FSQRT_F64"].execute(-4.0) == 2.0
+
+    def test_transcendentals_flagged_complex(self):
+        assert DEFAULT_ISA["FATAN_F64X"].complex_op
+        assert DEFAULT_ISA["FSIN_F64"].complex_op
+        assert not DEFAULT_ISA["FADD_F64"].complex_op
+
+
+class TestCryptoSemantics:
+    def test_crc32_step_matches_zlib(self):
+        # Chaining CRC32_B32 steps must agree with zlib's CRC-32.
+        data = b"repro"
+        crc = 0xFFFFFFFF
+        step = DEFAULT_ISA["CRC32_B32"]
+        for byte in data:
+            crc = step.execute(crc, byte)
+        assert (crc ^ 0xFFFFFFFF) == zlib.crc32(data)
+
+    def test_shuffle_reverses(self):
+        value = 0x04030201
+        selector = 0b00_01_10_11  # reverse byte order
+        assert DEFAULT_ISA["VSHUF_B32"].execute(value, selector) == 0x01020304
+
+    def test_carryless_mul(self):
+        # (x+1)*(x+1) = x^2+1 over GF(2).
+        assert DEFAULT_ISA["VGF2P8_B64"].execute(0b11, 0b11) == 0b101
+
+    def test_mix64_deterministic(self):
+        a = DEFAULT_ISA["SHAROUND_B64"].execute(123, 456)
+        b = DEFAULT_ISA["SHAROUND_B64"].execute(123, 456)
+        assert a == b
+        assert a != DEFAULT_ISA["SHAROUND_B64"].execute(123, 457)
+
+
+class TestArity:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_ISA["ADD_I32"].execute(1)
+
+    def test_heat_positive(self):
+        for instruction in DEFAULT_ISA.instructions.values():
+            assert instruction.heat > 0

@@ -1,0 +1,49 @@
+"""Unit tests for fleet topology details not covered elsewhere."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetSpec, build_topology, generate_fleet
+from repro.fleet.machine import Cluster, Datacenter, Machine
+
+
+@pytest.fixture(scope="module")
+def tiny_fleet():
+    return generate_fleet(FleetSpec(total_processors=60_000, seed=2))
+
+
+def test_invalid_topology_sizes(tiny_fleet):
+    with pytest.raises(ConfigurationError):
+        build_topology(tiny_fleet, n_datacenters=0)
+
+
+def test_machines_carry_processors(tiny_fleet):
+    topology = build_topology(tiny_fleet)
+    machine = topology.machines()[0]
+    assert machine.processor.is_faulty
+
+
+def test_groups_are_stable(tiny_fleet):
+    topology = build_topology(tiny_fleet)
+    machine = topology.machines()[0]
+    assert topology.group_of(machine) == topology.group_of(machine)
+    assert 0 <= topology.group_of(machine) < topology.n_groups
+
+
+def test_cluster_len():
+    cluster = Cluster("c", machines=[])
+    assert len(cluster) == 0
+
+
+def test_datacenter_iterates_machines(tiny_fleet):
+    topology = build_topology(tiny_fleet)
+    total = sum(len(list(dc.machines())) for dc in topology.datacenters)
+    assert total == len(tiny_fleet.faulty)
+
+
+def test_topology_deterministic(tiny_fleet):
+    a = build_topology(tiny_fleet, seed=3)
+    b = build_topology(tiny_fleet, seed=3)
+    ids_a = [m.machine_id for m in a.machines()]
+    ids_b = [m.machine_id for m in b.machines()]
+    assert ids_a == ids_b

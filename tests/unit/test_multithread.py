@@ -1,0 +1,62 @@
+"""Unit tests for concrete multi-threaded consistency testcases."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testing import run_coherence_test, run_txmem_test
+
+TC = 5.0e4  # time compression for concrete runs
+
+
+class TestCoherenceTest:
+    def test_defective_cpu_detected(self, catalog):
+        result = run_coherence_test(
+            catalog["CNST1"], temperature_c=62.0, time_compression=TC
+        )
+        assert result.detected
+        assert result.checksum_mismatches > 0
+        assert result.stale_reads
+
+    def test_healthy_cpu_clean(self, catalog):
+        healthy = catalog["SIMD1"]  # computation defect: no cache impact
+        result = run_coherence_test(
+            healthy, temperature_c=62.0, time_compression=TC
+        )
+        assert not result.detected
+
+    def test_below_tmin_clean(self, catalog):
+        result = run_coherence_test(
+            catalog["CNST1"], temperature_c=35.0, time_compression=TC
+        )
+        assert not result.detected
+
+    def test_single_thread_rejected(self, catalog):
+        with pytest.raises(ConfigurationError):
+            run_coherence_test(catalog["CNST1"], threads=1)
+
+
+class TestTxMemTest:
+    def test_defective_cpu_detected(self, catalog):
+        result = run_txmem_test(
+            catalog["CNST2"], temperature_c=70.0, time_compression=TC
+        )
+        assert result.detected
+        assert result.invariant_violations == len(result.torn_commits)
+
+    def test_txmem_only_cpu_passes_coherence(self, catalog):
+        # CNST2 is TM-only: coherence testcases cannot catch it (§4.1's
+        # "different testing strategies").
+        result = run_coherence_test(
+            catalog["CNST2"], temperature_c=70.0, time_compression=TC
+        )
+        assert not result.detected
+
+    def test_healthy_cpu_clean(self, catalog):
+        result = run_txmem_test(
+            catalog["FPU1"], temperature_c=70.0, time_compression=TC
+        )
+        assert not result.detected
+
+    def test_single_thread_rejected(self, catalog):
+        with pytest.raises(ConfigurationError):
+            run_txmem_test(catalog["CNST2"], threads=1)

@@ -1,0 +1,92 @@
+"""Unit tests for the reliable resource pool and decommission policy."""
+
+import pytest
+
+from repro.core import (
+    DEPRECATION_CORE_THRESHOLD,
+    ProcessorStatus,
+    ReliableResourcePool,
+)
+from repro.cpu import ARCHITECTURES, Processor
+from repro.errors import DecommissionError
+
+
+def make_cpu(name="P1", arch="M2"):
+    return Processor(name, ARCHITECTURES[arch])
+
+
+class TestPool:
+    def test_add_and_query(self):
+        pool = ReliableResourcePool()
+        entry = pool.add(make_cpu())
+        assert entry.status is ProcessorStatus.ONLINE
+        assert len(entry.available_cores()) == 16
+
+    def test_duplicate_add_rejected(self):
+        pool = ReliableResourcePool()
+        pool.add(make_cpu())
+        with pytest.raises(DecommissionError):
+            pool.add(make_cpu())
+
+    def test_unknown_lookup_rejected(self):
+        pool = ReliableResourcePool()
+        with pytest.raises(DecommissionError):
+            pool.entry("ghost")
+
+    def test_mask_few_cores_stays_online(self):
+        # §7.1: "Farron masks that particular defective core and
+        # continues utilizing the other cores as normal."
+        pool = ReliableResourcePool()
+        pool.add(make_cpu())
+        status = pool.apply_core_verdict("P1", [3])
+        assert status is ProcessorStatus.ONLINE
+        entry = pool.entry("P1")
+        assert 3 not in entry.available_cores()
+        assert len(entry.available_cores()) == 15
+
+    def test_deprecate_beyond_threshold(self):
+        # §7.1: "more than two cores ... defective" → deprecate.
+        pool = ReliableResourcePool()
+        pool.add(make_cpu())
+        assert pool.apply_core_verdict("P1", [0, 1]) is ProcessorStatus.ONLINE
+        assert (
+            pool.apply_core_verdict("P1", [2]) is ProcessorStatus.DEPRECATED
+        )
+        assert pool.entry("P1").available_cores() == []
+        assert pool.deprecated_ids() == ["P1"]
+
+    def test_threshold_value_matches_paper(self):
+        assert DEPRECATION_CORE_THRESHOLD == 2
+
+    def test_suspected_state(self):
+        pool = ReliableResourcePool()
+        pool.add(make_cpu())
+        pool.mark_suspected("P1")
+        assert pool.entry("P1").status is ProcessorStatus.SUSPECTED
+        pool.apply_core_verdict("P1", [0])
+        assert pool.entry("P1").status is ProcessorStatus.ONLINE
+
+    def test_suspecting_deprecated_rejected(self):
+        pool = ReliableResourcePool()
+        pool.add(make_cpu())
+        pool.apply_core_verdict("P1", [0, 1, 2])
+        with pytest.raises(DecommissionError):
+            pool.mark_suspected("P1")
+
+    def test_masked_processor_propagates(self):
+        pool = ReliableResourcePool()
+        pool.add(make_cpu())
+        pool.apply_core_verdict("P1", [5])
+        masked = pool.entry("P1").masked_processor()
+        assert 5 in masked.masked_cores
+
+    def test_core_accounting(self):
+        pool = ReliableResourcePool()
+        pool.add(make_cpu("A"))
+        pool.add(make_cpu("B"))
+        pool.apply_core_verdict("A", [0])
+        assert pool.reliable_core_count() == 15 + 16
+        # Salvage accounting: 15 cores kept on a faulty-but-masked CPU
+        # that whole-processor deprecation would have discarded.
+        assert pool.salvaged_core_count() == 15
+        assert len(pool.online_processors()) == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the priority database and Farron scheduler."""
+
+import pytest
+
+from repro.core import FarronScheduleConfig, FarronScheduler, Priority, PriorityDatabase
+from repro.cpu import Feature
+from repro.errors import SchedulingError
+
+
+class TestPriorityDatabase:
+    def test_default_basic(self, library):
+        database = PriorityDatabase()
+        assert database.priority_of("TC-FPU-001", "P1") is Priority.BASIC
+
+    def test_fleet_detections_promote_to_active(self):
+        database = PriorityDatabase()
+        database.record_fleet_detections(["TC-A", "TC-B"])
+        assert database.priority_of("TC-A", "P1") is Priority.ACTIVE
+        assert database.priority_of("TC-A", "P2") is Priority.ACTIVE
+
+    def test_processor_detections_are_suspected_locally(self):
+        database = PriorityDatabase()
+        database.record_processor_detections("P1", ["TC-A"])
+        assert database.priority_of("TC-A", "P1") is Priority.SUSPECTED
+        # Elsewhere it's only active (a track record, not a suspect).
+        assert database.priority_of("TC-A", "P2") is Priority.ACTIVE
+
+    def test_partition(self, library):
+        database = PriorityDatabase()
+        ids = library.ids()
+        database.record_fleet_detections(ids[:5])
+        database.record_processor_detections("P1", ids[5:8])
+        parts = database.partition(library, "P1")
+        assert len(parts[Priority.SUSPECTED]) == 3
+        assert len(parts[Priority.ACTIVE]) == 5
+        assert len(parts[Priority.BASIC]) == len(library) - 8
+
+
+class TestScheduler:
+    def make_scheduler(self, library, suspected=(), active=()):
+        database = PriorityDatabase()
+        database.record_fleet_detections(active)
+        database.record_processor_detections("P1", suspected)
+        return FarronScheduler(library, database)
+
+    def test_suspected_first_with_longest_durations(self, library):
+        ids = library.ids()
+        scheduler = self.make_scheduler(
+            library, suspected=ids[:2], active=ids[2:6]
+        )
+        plan = scheduler.regular_plan("P1", boundary_c=60.0)
+        config = scheduler.config
+        first_two = plan.entries[:2]
+        assert {e.testcase_id for e in first_two} == set(ids[:2])
+        for entry in first_two:
+            assert entry.duration_s == pytest.approx(
+                config.suspected_duration_s
+            )
+
+    def test_plan_is_much_shorter_than_baseline(self, library):
+        ids = library.ids()
+        scheduler = self.make_scheduler(
+            library, suspected=ids[:5], active=ids[5:30]
+        )
+        plan = scheduler.regular_plan("P1", boundary_c=60.0)
+        # Farron's round ≈ 1 h vs the baseline's 10.55 h (§7.2).
+        assert plan.total_duration_s < 3.0 * 3600.0
+        assert plan.total_duration_s < 0.3 * 60.0 * len(library)
+
+    def test_burn_in_preheat_set(self, library):
+        scheduler = self.make_scheduler(library, suspected=library.ids()[:1])
+        plan = scheduler.regular_plan("P1", boundary_c=58.0)
+        assert plan.preheat_to_c == pytest.approx(
+            58.0 + scheduler.config.burn_in_margin_c
+        )
+
+    def test_app_feature_filter(self, library):
+        active = [tc.testcase_id for tc in library.by_feature(Feature.FPU)[:10]]
+        active += [tc.testcase_id for tc in library.by_feature(Feature.ALU)[:10]]
+        scheduler = self.make_scheduler(library, active=active)
+        plan = scheduler.regular_plan(
+            "P1", boundary_c=60.0, app_features={Feature.FPU}
+        )
+        scheduled_features = {
+            library[tc_id].feature for tc_id in plan.testcase_ids()
+        }
+        assert scheduled_features == {Feature.FPU}
+
+    def test_suspected_included_even_if_irrelevant(self, library):
+        alu_id = library.by_feature(Feature.ALU)[0].testcase_id
+        scheduler = self.make_scheduler(library, suspected=[alu_id])
+        plan = scheduler.regular_plan(
+            "P1", boundary_c=60.0, app_features={Feature.FPU}
+        )
+        assert alu_id in plan.testcase_ids()
+
+    def test_duration_scales_with_boundary(self, library):
+        scheduler = self.make_scheduler(library, suspected=library.ids()[:3])
+        cool = scheduler.regular_plan("P1", boundary_c=50.0)
+        hot = scheduler.regular_plan("P1", boundary_c=70.0)
+        # Observation 10 trade-off: hotter boundary → longer testing.
+        assert hot.total_duration_s > cool.total_duration_s
+
+    def test_duration_scale_floor(self):
+        config = FarronScheduleConfig()
+        assert config.duration_scale(-1000.0) == pytest.approx(0.25)
+
+    def test_targeted_plan_requires_suspected(self, library):
+        scheduler = self.make_scheduler(library)
+        with pytest.raises(SchedulingError):
+            scheduler.targeted_plan("P1", boundary_c=60.0)
+
+    def test_targeted_plan_generous(self, library):
+        ids = library.ids()[:2]
+        scheduler = self.make_scheduler(library, suspected=ids)
+        plan = scheduler.targeted_plan("P1", boundary_c=60.0)
+        assert set(plan.testcase_ids()) == set(ids)
+        for entry in plan.entries:
+            assert entry.duration_s > scheduler.config.suspected_duration_s

@@ -1,0 +1,72 @@
+"""Unit tests for processors, cores, and masking."""
+
+import pytest
+
+from repro.cpu import ARCHITECTURES, MicroArchitecture, Processor
+from repro.errors import ConfigurationError
+
+from .test_defects import make_computation_defect
+
+
+def test_architecture_table():
+    # Table 2 lists nine micro-architectures.
+    assert len(ARCHITECTURES) == 9
+    assert set(ARCHITECTURES) == {f"M{i}" for i in range(1, 10)}
+    generations = [a.generation for a in ARCHITECTURES.values()]
+    assert sorted(generations) == list(range(1, 10))
+
+
+def test_logical_cores_are_smt_multiples():
+    arch = ARCHITECTURES["M2"]
+    assert arch.logical_cores == arch.physical_cores * arch.smt
+
+
+def test_processor_topology():
+    cpu = Processor("p", ARCHITECTURES["M2"])
+    assert len(cpu.physical_cores) == 16
+    logical = list(cpu.logical_cores())
+    assert len(logical) == 32
+    assert logical[0].name == "pcore0t0"
+
+
+def test_healthy_processor():
+    cpu = Processor("p", ARCHITECTURES["M1"])
+    assert not cpu.is_faulty
+    assert cpu.defective_cores() == frozenset()
+    assert cpu.active_defects() == []
+
+
+def test_defective_queries():
+    defect = make_computation_defect(core_ids=(3,))
+    cpu = Processor("p", ARCHITECTURES["M2"], defects=(defect,))
+    assert cpu.is_faulty
+    assert cpu.defective_cores() == frozenset({3})
+    assert cpu.defects_for_core(3) == [defect]
+    assert cpu.defects_for_core(0) == []
+
+
+def test_defect_on_nonexistent_core_rejected():
+    defect = make_computation_defect(core_ids=(99,))
+    with pytest.raises(ConfigurationError):
+        Processor("p", ARCHITECTURES["M1"], defects=(defect,))
+
+
+def test_onset_filtering():
+    defect = make_computation_defect(onset_days=100.0)
+    cpu = Processor("p", ARCHITECTURES["M2"], defects=(defect,), age_years=0.1)
+    # 0.1 years ≈ 36 days: defect not yet active.
+    assert cpu.active_defects() == []
+    assert cpu.active_defects(age_days=200.0) == [defect]
+
+
+def test_masking_is_immutable_copy():
+    cpu = Processor("p", ARCHITECTURES["M2"])
+    masked = cpu.with_masked_cores([1, 2])
+    assert masked.masked_cores == frozenset({1, 2})
+    assert cpu.masked_cores == frozenset()
+    assert len(masked.available_cores()) == 14
+
+
+def test_invalid_arch_params():
+    with pytest.raises(ConfigurationError):
+        MicroArchitecture("bad", 1, physical_cores=0)

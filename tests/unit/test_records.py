@@ -1,0 +1,100 @@
+"""Unit tests for SDC records and the record store."""
+
+import pytest
+
+from repro.cpu import DataType
+from repro.cpu.datatypes import encode
+from repro.testing import ConsistencyRecord, RecordStore, SDCRecord
+
+
+def make_record(
+    processor_id="P1",
+    testcase_id="TC-1",
+    dtype=DataType.FLOAT64,
+    expected=1.5,
+    mask=1,
+    pcore_id=0,
+    temperature_c=55.0,
+):
+    expected_bits = encode(expected, dtype)
+    return SDCRecord(
+        processor_id=processor_id,
+        testcase_id=testcase_id,
+        pcore_id=pcore_id,
+        defect_id="d",
+        instruction="FADD_F64",
+        dtype=dtype,
+        expected_bits=expected_bits,
+        actual_bits=expected_bits ^ mask,
+        temperature_c=temperature_c,
+        time_s=0.0,
+    )
+
+
+class TestSDCRecord:
+    def test_mask_and_flips(self):
+        record = make_record(mask=0b101)
+        assert record.mask == 0b101
+        assert record.flipped_bits == 2
+
+    def test_decoded_values(self):
+        record = make_record(expected=1.5, mask=0)
+        assert record.expected == 1.5
+        assert record.actual == 1.5
+
+    def test_precision_loss_small_for_fraction_flip(self):
+        record = make_record(expected=1.5, mask=1)
+        assert 0 < record.precision_loss < 1e-12
+
+    def test_setting_key(self):
+        record = make_record()
+        assert record.setting == ("P1", "TC-1")
+
+
+class TestRecordStore:
+    def test_add_and_len(self):
+        store = RecordStore()
+        store.add(make_record())
+        store.add_consistency(
+            ConsistencyRecord("P1", "TC-9", 0, "d", "coherence", 60.0, 0.0)
+        )
+        assert len(store) == 2
+
+    def test_for_dtype(self):
+        store = RecordStore()
+        store.add(make_record(dtype=DataType.FLOAT64))
+        store.add(
+            make_record(dtype=DataType.INT32, expected=7, mask=0b10)
+        )
+        assert len(store.for_dtype(DataType.INT32)) == 1
+
+    def test_by_setting_groups(self):
+        store = RecordStore()
+        store.add(make_record(testcase_id="A"))
+        store.add(make_record(testcase_id="A"))
+        store.add(make_record(testcase_id="B"))
+        grouped = store.by_setting()
+        assert len(grouped[("P1", "A")]) == 2
+        assert len(grouped[("P1", "B")]) == 1
+
+    def test_settings_include_consistency(self):
+        store = RecordStore()
+        store.add(make_record(testcase_id="A"))
+        store.add_consistency(
+            ConsistencyRecord("P1", "C", 0, "d", "txmem", 60.0, 0.0)
+        )
+        assert set(store.settings()) == {("P1", "A"), ("P1", "C")}
+
+    def test_for_processor(self):
+        store = RecordStore()
+        store.add(make_record(processor_id="P1"))
+        store.add(make_record(processor_id="P2"))
+        sub = store.for_processor("P2")
+        assert len(sub.records) == 1
+        assert sub.records[0].processor_id == "P2"
+
+    def test_masks(self):
+        store = RecordStore()
+        store.add(make_record(mask=0b1))
+        store.add(make_record(mask=0b10))
+        assert sorted(store.masks()) == [0b1, 0b10]

@@ -1,0 +1,59 @@
+"""Unit tests for text rendering of tables/figures."""
+
+from repro.analysis import (
+    render_histogram,
+    render_series,
+    render_table,
+    side_by_side,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ("name", "value"),
+            (("alpha", 1), ("b", 22)),
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in text and "22" in text
+
+    def test_empty_rows(self):
+        text = render_table(("a",), ())
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_values_formatted(self):
+        text = render_series([("x", 0.5), ("longer", 0.25)])
+        assert "0.5000" in text
+        assert "longer" in text
+
+    def test_custom_format(self):
+        text = render_series([("x", 0.123)], value_format="{:.1%}")
+        assert "12.3%" in text
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_values(self):
+        text = render_histogram([1.0, 0.5, 0.0], labels=["a", "b", "c"])
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#") > 0
+        assert lines[2].count("#") == 0
+
+    def test_all_zero(self):
+        text = render_histogram([0.0, 0.0])
+        assert "#" not in text
+
+
+class TestSideBySide:
+    def test_pairs_paper_and_measured(self):
+        text = side_by_side(
+            {"x": 1.0, "y": 2.0}, {"x": 1.1}, title="cmp"
+        )
+        assert "cmp" in text
+        assert "1.100" in text
+        # Missing measured values render as a dash.
+        assert "-" in text

@@ -1,0 +1,119 @@
+"""Unit tests for the reproducibility-analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    FrequencyMeasurement,
+    TemperatureSweep,
+    catalog_setting_survey,
+    measure_frequency,
+    temperature_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.testing import ToolchainRunner
+
+
+class TestFrequencyMeasurement:
+    def test_per_minute_conversion(self):
+        measurement = FrequencyMeasurement(60.0, errors=30, duration_s=600.0)
+        assert measurement.frequency_per_min == pytest.approx(3.0)
+        assert measurement.log10_frequency == pytest.approx(0.4771, abs=1e-3)
+
+    def test_zero_errors_has_no_log(self):
+        measurement = FrequencyMeasurement(60.0, errors=0, duration_s=600.0)
+        assert measurement.log10_frequency is None
+
+
+class TestTemperatureSweep:
+    def _sweep_with(self, measurements):
+        sweep = TemperatureSweep("P", "TC", 0)
+        sweep.measurements = measurements
+        return sweep
+
+    def test_fit_requires_three_nonzero_points(self):
+        sweep = self._sweep_with(
+            [
+                FrequencyMeasurement(50.0, 0, 600.0),
+                FrequencyMeasurement(55.0, 3, 600.0),
+                FrequencyMeasurement(60.0, 9, 600.0),
+            ]
+        )
+        assert sweep.fit() is None  # only two non-zero points
+
+    def test_fit_recovers_slope(self):
+        measurements = [
+            FrequencyMeasurement(50.0 + i, 10 * 2**i, 600.0)
+            for i in range(5)
+        ]
+        sweep = self._sweep_with(measurements)
+        fit = sweep.fit()
+        assert fit is not None
+        import math
+
+        assert fit.slope == pytest.approx(math.log10(2.0), rel=1e-6)
+        assert fit.pearson_r == pytest.approx(1.0)
+
+    def test_observed_min_trigger(self):
+        sweep = self._sweep_with(
+            [
+                FrequencyMeasurement(50.0, 0, 600.0),
+                FrequencyMeasurement(55.0, 2, 600.0),
+                FrequencyMeasurement(60.0, 8, 600.0),
+            ]
+        )
+        assert sweep.observed_min_trigger_temp() == 55.0
+
+    def test_no_errors_no_min_trigger(self):
+        sweep = self._sweep_with([FrequencyMeasurement(50.0, 0, 600.0)])
+        assert sweep.observed_min_trigger_temp() is None
+
+
+class TestSweepExecution:
+    def test_measure_frequency_runs(self, catalog, library):
+        runner = ToolchainRunner(catalog["SIMD1"])
+        testcase = next(
+            tc for tc in library.loops()
+            if tc.instruction_mix.get("VFMA_F32", 0) >= 0.5
+        )
+        measurement = measure_frequency(
+            runner, testcase, 55.0, duration_s=600.0, pcore_id=3
+        )
+        assert measurement.errors > 0
+
+    def test_sweep_needs_temperatures(self, catalog, library):
+        runner = ToolchainRunner(catalog["SIMD1"])
+        with pytest.raises(ConfigurationError):
+            temperature_sweep(runner, library.loops()[0], [])
+
+    def test_sweep_monotone_in_expectation(self, catalog, library):
+        runner = ToolchainRunner(catalog["SIMD1"])
+        testcase = next(
+            tc for tc in library.loops()
+            if tc.instruction_mix.get("VFMA_F32", 0) >= 0.5
+        )
+        sweep = temperature_sweep(
+            runner, testcase, [46.0, 49.0, 52.0], duration_s=1200.0,
+            pcore_id=3,
+        )
+        errors = [m.errors for m in sweep.measurements]
+        assert errors[-1] > errors[0]
+
+
+class TestSurvey:
+    def test_consistency_cpus_contribute_nothing(self, catalog, library):
+        survey = catalog_setting_survey([catalog["CNST2"]], library)
+        assert survey == []
+
+    def test_survey_respects_cap(self, catalog, library):
+        survey = catalog_setting_survey(
+            [catalog["MIX1"]], library, max_settings_per_processor=2
+        )
+        assert len(survey) == 2
+
+    def test_apparent_classification(self):
+        from repro.analysis import SettingReproducibility
+
+        apparent = SettingReproducibility("P", "T", 45.0, 1.0)
+        tricky = SettingReproducibility("P", "T", 65.0, -2.0)
+        assert apparent.apparent
+        assert not tricky.apparent

@@ -1,0 +1,118 @@
+"""Unit tests for the statistical toolchain runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testing import RecordStore, ToolchainRunner
+
+
+@pytest.fixture()
+def mix1_runner(catalog):
+    return ToolchainRunner(catalog["MIX1"])
+
+
+@pytest.fixture()
+def fma_loop(library):
+    return next(
+        tc
+        for tc in library.loops()
+        if tc.instruction_mix.get("VFMA_F32", 0) >= 0.5
+    )
+
+
+class TestMatching:
+    def test_can_ever_fail(self, catalog, library, fma_loop):
+        runner = ToolchainRunner(catalog["SIMD1"])
+        assert runner.can_ever_fail(fma_loop)
+        unrelated = next(
+            tc for tc in library.loops()
+            if tc.instruction_mix.get("FATAN_F64X", 0) >= 0.5
+        )
+        assert not runner.can_ever_fail(unrelated)
+
+    def test_consistency_matching(self, catalog, library):
+        runner = ToolchainRunner(catalog["CNST2"])
+        txmem_tc = next(
+            tc for tc in library.consistency_testcases()
+            if tc.consistency_kind.value == "txmem"
+        )
+        coherence_tc = next(
+            tc for tc in library.consistency_testcases()
+            if tc.consistency_kind.value == "coherence"
+        )
+        assert runner.can_ever_fail(txmem_tc)
+        assert not runner.can_ever_fail(coherence_tc)
+
+    def test_healthy_processor_never_fails(self, catalog, library):
+        healthy = catalog["SIMD1"].with_masked_cores(range(12))
+        runner = ToolchainRunner(healthy)
+        assert not any(runner.can_ever_fail(tc) for tc in library)
+
+
+class TestFixedTemperature:
+    def test_detects_above_tmin(self, mix1_runner, fma_loop):
+        run = mix1_runner.run_at_fixed_temperature(fma_loop, 78.0, 1200.0)
+        assert run.detected
+        for record in run.records:
+            assert record.instruction == "VFMA_F32"
+            assert record.temperature_c == 78.0
+            assert record.expected_bits != record.actual_bits
+
+    def test_silent_below_tmin(self, mix1_runner, fma_loop):
+        run = mix1_runner.run_at_fixed_temperature(fma_loop, 40.0, 1200.0)
+        assert not run.detected
+
+    def test_store_collection(self, mix1_runner, fma_loop):
+        store = RecordStore()
+        mix1_runner.run_at_fixed_temperature(
+            fma_loop, 78.0, 600.0, store=store
+        )
+        assert len(store) > 0
+
+    def test_bad_duration(self, mix1_runner, fma_loop):
+        with pytest.raises(ConfigurationError):
+            mix1_runner.run_at_fixed_temperature(fma_loop, 60.0, 0.0)
+
+
+class TestThermalCoupledRun:
+    def test_run_heats_package(self, catalog, library, fma_loop):
+        runner = ToolchainRunner(catalog["MIX1"])
+        run = runner.run_testcase(fma_loop, 300.0)
+        assert run.end_temp_c > run.start_temp_c
+        assert run.max_core_temp_c >= run.end_temp_c - 1.0
+
+    def test_heat_persists_across_testcases(self, catalog, fma_loop):
+        runner = ToolchainRunner(catalog["MIX1"])
+        first = runner.run_testcase(fma_loop, 300.0)
+        second = runner.run_testcase(fma_loop, 60.0)
+        assert second.start_temp_c > first.start_temp_c + 5.0
+
+    def test_masked_cores_rejected(self, catalog, fma_loop):
+        masked = catalog["MIX1"].with_masked_cores([0])
+        runner = ToolchainRunner(masked)
+        with pytest.raises(ConfigurationError):
+            runner.run_testcase(fma_loop, 60.0, cores=[0])
+
+    def test_masked_cores_excluded_by_default(self, catalog, fma_loop):
+        masked = catalog["MIX1"].with_masked_cores(range(16))
+        runner = ToolchainRunner(masked)
+        run = runner.run_testcase(fma_loop, 600.0)
+        assert not run.detected
+
+    def test_consistency_records(self, catalog, library):
+        runner = ToolchainRunner(catalog["CNST1"])
+        testcase = next(
+            tc for tc in library.consistency_testcases()
+            if tc.consistency_kind.value == "coherence"
+            and tc.consistency_ops_per_s >= 3.5e5
+        )
+        run = runner.run_at_fixed_temperature(testcase, 65.0, 1800.0)
+        assert run.consistency_records
+        assert all(r.kind == "coherence" for r in run.consistency_records)
+
+    def test_idle_cools(self, catalog, fma_loop):
+        runner = ToolchainRunner(catalog["MIX1"])
+        runner.run_testcase(fma_loop, 600.0)
+        hot = runner.thermal.package_temp
+        runner.idle(600.0)
+        assert runner.thermal.package_temp < hot

@@ -1,0 +1,154 @@
+"""Unit tests for the trigger law (Observations 9-10)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import TriggerModel
+from repro.faults.trigger import (
+    DEFAULT_MAX_FREQ_PER_MIN,
+    DEFAULT_USAGE_FLOOR_FRACTION,
+)
+from repro.rng import substream
+
+from .test_defects import make_computation_defect, make_trigger
+
+USAGE = 9.0e5  # above the usage floor
+
+
+@pytest.fixture()
+def defect():
+    return make_computation_defect(
+        trigger=make_trigger(
+            tmin=50.0,
+            log10_freq_at_tmin=0.0,
+            temp_slope=0.15,
+            tmin_jitter=0.0,
+            freq_jitter=0.0,
+        )
+    )
+
+
+@pytest.fixture()
+def model():
+    return TriggerModel()
+
+
+class TestLaw:
+    def test_zero_below_tmin(self, model, defect):
+        assert model.occurrence_frequency(defect, "s", 49.9, USAGE, 3) == 0.0
+
+    def test_positive_above_tmin(self, model, defect):
+        assert model.occurrence_frequency(defect, "s", 51.0, USAGE, 3) > 0.0
+
+    def test_exponential_slope(self, model, defect):
+        import math
+
+        f1 = model.occurrence_frequency(defect, "s", 52.0, USAGE, 3)
+        f2 = model.occurrence_frequency(defect, "s", 56.0, USAGE, 3)
+        # log10 grows linearly with slope 0.15 → ratio 10^(0.15*4).
+        assert math.log10(f2 / f1) == pytest.approx(0.15 * 4.0, rel=1e-6)
+
+    def test_ramp_saturates(self, model, defect):
+        capped = model.occurrence_frequency(
+            defect, "s", 50.0 + model.ramp_cap_c, USAGE, 3
+        )
+        beyond = model.occurrence_frequency(
+            defect, "s", 50.0 + model.ramp_cap_c + 15.0, USAGE, 3
+        )
+        assert beyond == capped
+
+    def test_absolute_frequency_cap(self, model):
+        hot = make_computation_defect(
+            trigger=make_trigger(
+                tmin=40.0, log10_freq_at_tmin=5.0, temp_slope=0.2,
+                tmin_jitter=0.0, freq_jitter=0.0,
+            )
+        )
+        freq = model.occurrence_frequency(hot, "s", 60.0, 1.0e6, 3)
+        assert freq == DEFAULT_MAX_FREQ_PER_MIN
+
+    def test_usage_floor_cliff(self, model, defect):
+        # §5: low-usage testcases trigger nothing at all.
+        below = DEFAULT_USAGE_FLOOR_FRACTION * model.reference_usage * 0.99
+        assert model.occurrence_frequency(defect, "s", 60.0, below, 3) == 0.0
+
+    def test_usage_stress_scaling(self, model, defect):
+        f_full = model.occurrence_frequency(defect, "s", 60.0, 1.0e6, 3)
+        f_half = model.occurrence_frequency(defect, "s", 60.0, 0.5e6, 3)
+        assert f_half == pytest.approx(f_full * 0.5**1.6, rel=1e-9)
+
+    def test_wrong_core_is_zero(self, model, defect):
+        assert model.occurrence_frequency(defect, "s", 60.0, USAGE, 0) == 0.0
+
+    def test_core_multiplier_scales(self, model):
+        defect = make_computation_defect(
+            core_ids=(3, 4),
+            core_multipliers={4: 0.01},
+            trigger=make_trigger(tmin_jitter=0.0, freq_jitter=0.0),
+        )
+        f3 = model.occurrence_frequency(defect, "s", 60.0, USAGE, 3)
+        f4 = model.occurrence_frequency(defect, "s", 60.0, USAGE, 4)
+        assert f4 == pytest.approx(f3 * 0.01)
+
+
+class TestPerSettingBehaviour:
+    def test_deterministic_across_instances(self):
+        defect = make_computation_defect()
+        a = TriggerModel().behaviour(defect, "TC-X")
+        b = TriggerModel().behaviour(defect, "TC-X")
+        assert a == b
+
+    def test_different_settings_differ(self):
+        defect = make_computation_defect()
+        model = TriggerModel()
+        a = model.behaviour(defect, "TC-X")
+        b = model.behaviour(defect, "TC-Y")
+        assert (a.tmin_c, a.log10_freq_at_tmin) != (b.tmin_c, b.log10_freq_at_tmin)
+
+    def test_jitter_bounds(self):
+        defect = make_computation_defect(
+            trigger=make_trigger(tmin=50.0, tmin_jitter=6.0)
+        )
+        model = TriggerModel()
+        for i in range(30):
+            behaviour = model.behaviour(defect, f"TC-{i}")
+            assert 50.0 <= behaviour.tmin_c <= 56.0
+
+
+class TestSampling:
+    def test_expected_errors(self, model, defect):
+        freq = model.occurrence_frequency(defect, "s", 60.0, USAGE, 3)
+        expected = model.expected_errors(defect, "s", 60.0, USAGE, 3, 120.0)
+        assert expected == pytest.approx(freq * 2.0)
+
+    def test_sample_errors_zero_mean(self, model, defect):
+        rng = substream(0, "t")
+        assert model.sample_errors(defect, "s", 40.0, USAGE, 3, 600.0, rng) == 0
+
+    def test_sample_errors_poisson_scale(self, model, defect):
+        rng = substream(0, "t")
+        total = sum(
+            model.sample_errors(defect, "s", 55.0, USAGE, 3, 60.0, rng)
+            for _ in range(200)
+        )
+        mean = model.expected_errors(defect, "s", 55.0, USAGE, 3, 60.0)
+        assert total / 200 == pytest.approx(mean, rel=0.3)
+
+    def test_per_execution_probability_consistent(self, model, defect):
+        freq = model.occurrence_frequency(defect, "s", 60.0, USAGE, 3)
+        p = model.per_execution_probability(defect, "s", 60.0, USAGE, 3)
+        assert p == pytest.approx(freq / 60.0 / USAGE)
+
+
+class TestValidation:
+    def test_bad_reference_usage(self):
+        with pytest.raises(ConfigurationError):
+            TriggerModel(reference_usage=0.0)
+
+    def test_bad_caps(self):
+        with pytest.raises(ConfigurationError):
+            TriggerModel(ramp_cap_c=0.0)
+        with pytest.raises(ConfigurationError):
+            TriggerModel(max_freq_per_min=-1.0)
+        with pytest.raises(ConfigurationError):
+            TriggerModel(usage_floor_fraction=1.5)

@@ -1,0 +1,113 @@
+"""Unit tests for the transactional-memory simulator."""
+
+import pytest
+
+from repro.cpu import TransactionalMemory
+from repro.errors import TransactionError
+
+
+class TestHealthyTransactions:
+    def test_commit_applies_writes(self):
+        memory = TransactionalMemory()
+        memory.begin(0)
+        memory.write(0, 1, 10)
+        memory.write(0, 2, 20)
+        assert memory.commit(0)
+        assert memory.peek(1) == 10
+        assert memory.peek(2) == 20
+
+    def test_read_your_own_writes(self):
+        memory = TransactionalMemory()
+        memory.begin(0)
+        memory.write(0, 1, 99)
+        assert memory.read(0, 1) == 99
+
+    def test_abort_discards(self):
+        memory = TransactionalMemory()
+        memory.store[1] = 5
+        memory.begin(0)
+        memory.write(0, 1, 99)
+        memory.abort(0)
+        assert memory.peek(1) == 5
+
+    def test_conflict_aborts_cleanly(self):
+        memory = TransactionalMemory()
+        memory.store[1] = 0
+        memory.begin(0)
+        memory.read(0, 1)
+        memory.begin(1)
+        memory.write(1, 1, 7)
+        assert memory.commit(1)
+        memory.write(0, 1, 8)
+        # Core 0 read version 0 but core 1 committed version 1.
+        assert not memory.commit(0)
+        assert memory.peek(1) == 7
+
+    def test_isolation_before_commit(self):
+        memory = TransactionalMemory()
+        memory.begin(0)
+        memory.write(0, 1, 42)
+        assert memory.peek(1) == 0
+        memory.commit(0)
+        assert memory.peek(1) == 42
+
+    def test_double_begin_rejected(self):
+        memory = TransactionalMemory()
+        memory.begin(0)
+        with pytest.raises(TransactionError):
+            memory.begin(0)
+
+    def test_ops_without_transaction_rejected(self):
+        memory = TransactionalMemory()
+        with pytest.raises(TransactionError):
+            memory.read(0, 1)
+        with pytest.raises(TransactionError):
+            memory.write(0, 1, 1)
+        with pytest.raises(TransactionError):
+            memory.commit(0)
+
+    def test_concurrent_disjoint_commits(self):
+        memory = TransactionalMemory()
+        memory.begin(0)
+        memory.begin(1)
+        memory.write(0, 1, 10)
+        memory.write(1, 2, 20)
+        assert memory.commit(0)
+        assert memory.commit(1)
+        assert memory.peek(1) == 10 and memory.peek(2) == 20
+
+
+class TestTornCommits:
+    def test_torn_commit_applies_partial_writes(self):
+        memory = TransactionalMemory(tear_hook=lambda core: True)
+        memory.begin(0)
+        memory.write(0, 1, 10)
+        memory.write(0, 2, 20)
+        assert memory.commit(0)  # reports success — silently torn
+        assert len(memory.violations) == 1
+        torn = memory.violations[0]
+        assert torn.applied and torn.dropped
+        assert set(torn.applied) | set(torn.dropped) == {1, 2}
+        # Exactly the applied half landed in the store.
+        for address, value in torn.applied.items():
+            assert memory.peek(address) == value
+        for address in torn.dropped:
+            assert memory.peek(address) == 0
+
+    def test_single_write_commits_never_torn(self):
+        memory = TransactionalMemory(tear_hook=lambda core: True)
+        memory.begin(0)
+        memory.write(0, 1, 10)
+        assert memory.commit(0)
+        assert memory.violations == []
+        assert memory.peek(1) == 10
+
+    def test_healthy_hook_no_tears(self):
+        memory = TransactionalMemory(tear_hook=lambda core: False)
+        for i in range(20):
+            memory.begin(0)
+            memory.write(0, 1, i)
+            memory.write(0, 2, i)
+            assert memory.commit(0)
+        assert memory.violations == []
+        assert memory.peek(1) == memory.peek(2) == 19

@@ -1,0 +1,38 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.units import (
+    THREE_MONTHS_SECONDS,
+    format_permyriad,
+    fraction_to_percent,
+    from_permyriad,
+    permyriad,
+)
+
+
+def test_permyriad_roundtrip():
+    assert permyriad(from_permyriad(3.61)) == pytest.approx(3.61)
+
+
+def test_paper_overall_rate():
+    # Observation 1: 3.61 permyriad == 0.000361.
+    assert from_permyriad(3.61) == pytest.approx(3.61e-4)
+
+
+def test_format_permyriad():
+    assert format_permyriad(3.61e-4, digits=2) == "3.61‱"
+
+
+def test_fraction_to_percent():
+    assert fraction_to_percent(0.00488) == "0.488%"
+
+
+def test_three_months():
+    assert THREE_MONTHS_SECONDS == pytest.approx(90 * 86400)
+
+
+def test_baseline_overhead_identity():
+    # The paper's 0.488% baseline overhead is 10.55 h over 3 months.
+    round_s = 633 * 60.0
+    assert round_s / THREE_MONTHS_SECONDS == pytest.approx(0.00488, rel=1e-2)

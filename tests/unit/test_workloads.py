@@ -1,0 +1,197 @@
+"""Unit tests for the impacted-application workloads."""
+
+import math
+
+import pytest
+
+from repro.cpu import ARCHITECTURES, Executor, Processor, full_catalog
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    MathLibrary,
+    MetadataService,
+    bigint_add,
+    crc32,
+    crc32_golden,
+    matrix_multiply,
+    pack_utf16,
+    reverse_words,
+    run_request_storm,
+    run_shared_buffer_daemon,
+    run_transfer_service,
+)
+
+TC = 1.0e5  # time compression for concrete demo runs
+
+
+@pytest.fixture(scope="module")
+def healthy_executor():
+    return Executor(Processor("H", ARCHITECTURES["M2"]))
+
+
+@pytest.fixture(scope="module")
+def mix1_executor(catalog_module):
+    return Executor(catalog_module["MIX1"], time_compression=TC)
+
+
+@pytest.fixture(scope="module")
+def catalog_module():
+    return full_catalog()
+
+
+class TestMatrix:
+    def test_healthy_matches_golden(self, healthy_executor):
+        a = [[1.0, 2.0], [3.0, 4.0]]
+        b = [[5.0, 6.0], [7.0, 8.0]]
+        result = matrix_multiply(healthy_executor, a, b)
+        assert not result.corrupted
+        assert result.product == [[19.0, 22.0], [43.0, 50.0]]
+
+    def test_faulty_core_corrupts(self, catalog_module):
+        executor = Executor(catalog_module["SIMD1"], time_compression=1e6)
+        a = [[1.5] * 4 for _ in range(4)]
+        b = [[2.5] * 4 for _ in range(4)]
+        result = matrix_multiply(
+            executor, a, b, pcore_id=3, temperature_c=60.0
+        )
+        assert result.corrupted
+        assert result.max_relative_error() > 0
+
+    def test_shape_validation(self, healthy_executor):
+        with pytest.raises(ConfigurationError):
+            matrix_multiply(healthy_executor, [[1.0]], [[1.0], [2.0]])
+        with pytest.raises(ConfigurationError):
+            matrix_multiply(healthy_executor, [[1.0]], [[1.0]], precision="f16")
+
+
+class TestChecksum:
+    def test_golden_is_stable(self):
+        assert crc32_golden([1, 2, 3]) == crc32_golden([1, 2, 3])
+
+    def test_healthy_digest_matches_golden(self, healthy_executor):
+        payload = list(range(64))
+        result = crc32(healthy_executor, payload)
+        assert not result.corrupted
+        assert result.digest == crc32_golden(payload)
+
+    def test_matches_detector_crc32(self, healthy_executor):
+        from repro.detectors import crc32 as detector_crc32
+
+        payload = list(b"cross-check")
+        assert crc32(healthy_executor, payload).digest == detector_crc32(
+            bytes(payload)
+        )
+
+    def test_storm_on_faulty_checksum_core(self, catalog_module):
+        # MIX1's checksum setting is slow (a fraction of an error per
+        # minute); compress time aggressively to observe the storm.
+        executor = Executor(catalog_module["MIX1"], time_compression=5e6)
+        report = run_request_storm(
+            executor, n_requests=60, temperature_c=72.0
+        )
+        # §2.2 case 1: spurious mismatches and retries, data itself fine.
+        assert report.mismatches > 0
+        assert report.retries > 0
+        assert report.true_corruptions == 0
+
+    def test_no_storm_when_cool(self, mix1_executor):
+        report = run_request_storm(
+            mix1_executor, n_requests=30, temperature_c=40.0
+        )
+        assert report.mismatches == 0
+
+
+class TestHashing:
+    def test_healthy_service(self, healthy_executor):
+        service = MetadataService(healthy_executor)
+        for key in range(100):
+            service.put(key, key * 2)
+        for key in range(100):
+            outcome = service.get(key)
+            assert outcome.found and not outcome.assertion_failed
+        assert service.assertion_failures == 0
+
+    def test_defective_hashing_breaks_metadata(self, catalog_module):
+        executor = Executor(catalog_module["MIX2"], time_compression=5e6)
+        service = MetadataService(executor, temperature_c=68.0)
+        for key in range(300):
+            service.put(key, key)
+        problems = 0
+        for key in range(300):
+            outcome = service.get(key)
+            if not outcome.found or outcome.assertion_failed:
+                problems += 1
+        problems += service.assertion_failures
+        assert problems > 0
+
+
+class TestMathLibrary:
+    def test_healthy_matches_math(self, healthy_executor):
+        library = MathLibrary(healthy_executor)
+        result = library.atan([0.5, 1.0, 2.0])
+        assert result.values == [math.atan(x) for x in (0.5, 1.0, 2.0)]
+        assert not result.corrupted
+
+    def test_fpu1_corrupts_atan_with_small_losses(self, catalog_module):
+        executor = Executor(catalog_module["FPU1"], time_compression=TC)
+        library = MathLibrary(executor, pcore_id=2, temperature_c=62.0)
+        result = library.atan([0.01 * i for i in range(1, 800)])
+        assert result.corrupted
+        # Observation 7: float corruption ⇒ minor precision loss.
+        assert result.max_relative_error() < 0.5
+
+    def test_unknown_function_rejected(self, healthy_executor):
+        with pytest.raises(ConfigurationError):
+            MathLibrary(healthy_executor).apply("tanh", [1.0])
+
+
+class TestStrings:
+    def test_reverse_words_healthy(self, healthy_executor):
+        result = reverse_words(healthy_executor, b"abcdwxyz")
+        assert result.output == b"dcbazyxw"
+        assert not result.corrupted
+
+    def test_pack_utf16_healthy(self, healthy_executor):
+        result = pack_utf16(healthy_executor, "AB")
+        assert result.output == b"\x00A\x00B"
+
+
+class TestBigInt:
+    def test_healthy_addition(self, healthy_executor):
+        a, b = 2**200 + 12345, 2**199 + 67890
+        result = bigint_add(healthy_executor, a, b, n_limbs=5)
+        assert not result.corrupted
+        assert result.value == a + b
+
+    def test_negative_rejected(self, healthy_executor):
+        with pytest.raises(ConfigurationError):
+            bigint_add(healthy_executor, -1, 1)
+
+    def test_overflowing_value_rejected(self, healthy_executor):
+        with pytest.raises(ConfigurationError):
+            bigint_add(healthy_executor, 2**300, 0, n_limbs=2)
+
+
+class TestConsistencyWorkloads:
+    def test_shared_buffer_daemon_mismatches(self, catalog_module):
+        report = run_shared_buffer_daemon(
+            catalog_module["CNST1"], temperature_c=62.0, time_compression=TC
+        )
+        assert report.mismatches > 0
+
+    def test_shared_buffer_healthy(self):
+        healthy = Processor("H", ARCHITECTURES["M2"])
+        report = run_shared_buffer_daemon(healthy, time_compression=TC)
+        assert report.mismatches == 0
+
+    def test_transfer_service_torn(self, catalog_module):
+        report = run_transfer_service(
+            catalog_module["CNST2"], temperature_c=70.0, time_compression=TC
+        )
+        assert report.torn_commits > 0
+        assert not report.consistent
+
+    def test_transfer_service_healthy(self):
+        healthy = Processor("H", ARCHITECTURES["M3"])
+        report = run_transfer_service(healthy, time_compression=TC)
+        assert report.consistent
+        assert report.torn_commits == 0
