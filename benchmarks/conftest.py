@@ -10,6 +10,7 @@ import pytest
 
 from repro.cpu import full_catalog
 from repro.fleet import FleetSpec, TestPipeline, generate_fleet
+from repro.perf import deterministic_map
 from repro.testing import RecordStore, TestFramework, ToolchainRunner, build_library
 
 #: The paper's population: "over one million processors".
@@ -37,21 +38,47 @@ def campaign(fleet, library):
     return TestPipeline(fleet, library, seed=1).run()
 
 
+_CORPUS_CTX = {}
+
+
+def _corpus_init():
+    # Build the (deterministic) catalog and library once per worker
+    # process instead of pickling 27 processors per task.
+    _CORPUS_CTX["catalog"] = full_catalog()
+    _CORPUS_CTX["library"] = build_library()
+
+
+def _corpus_task(processor_name):
+    processor = _CORPUS_CTX["catalog"][processor_name]
+    library = _CORPUS_CTX["library"]
+    store = RecordStore()
+    runner = ToolchainRunner(processor)
+    for testcase in library:
+        if runner.can_ever_fail(testcase):
+            runner.run_at_fixed_temperature(testcase, 78.0, 900.0, store=store)
+    return store
+
+
 @pytest.fixture(scope="session")
-def catalog_corpus(catalog, library):
+def catalog_corpus(catalog):
     """SDC records from generous hot runs over all 27 study CPUs.
 
     This is the §2.4 corpus ("more than ten thousand SDC records")
-    every §4-§5 figure is computed from.
+    every §4-§5 figure is computed from.  Per-CPU campaigns are
+    independent (each runner has its own substream), so they run
+    process-parallel; merging in catalog order keeps the corpus
+    identical to a serial run.
     """
+    partial_stores = deterministic_map(
+        _corpus_task,
+        list(catalog),
+        initializer=_corpus_init,
+    )
     store = RecordStore()
-    for processor in catalog.values():
-        runner = ToolchainRunner(processor)
-        for testcase in library:
-            if runner.can_ever_fail(testcase):
-                runner.run_at_fixed_temperature(
-                    testcase, 78.0, 900.0, store=store
-                )
+    for partial in partial_stores:
+        store.extend(partial.records)
+        for record in partial.consistency_records:
+            store.add_consistency(record)
     return store
 
 

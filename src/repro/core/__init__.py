@@ -18,6 +18,7 @@ from .evaluation import (
     OnlineSimulationResult,
     OverheadResult,
     coverage_experiment,
+    coverage_sweep,
     overhead_experiment,
     simulate_online,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "OnlineSimulationResult",
     "OverheadResult",
     "coverage_experiment",
+    "coverage_sweep",
     "overhead_experiment",
     "simulate_online",
 ]

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
-from ..rng import substream
+from ..perf.parallel import deterministic_map
+from ..rng import derive_seed, substream
 from ..cpu.features import Feature
 from ..cpu.processor import Processor
 from ..faults.trigger import TriggerModel
@@ -39,6 +40,7 @@ __all__ = [
     "OnlineSimulationResult",
     "OverheadResult",
     "coverage_experiment",
+    "coverage_sweep",
     "simulate_online",
     "overhead_experiment",
 ]
@@ -160,6 +162,59 @@ def coverage_experiment(
         known_settings=len(known),
         detected_settings=len(detected),
         round_duration_s=report.total_duration_s,
+    )
+
+
+# Per-worker context for coverage_sweep: the library and app features
+# are shipped once per worker process (initializer), not once per task.
+_SWEEP_CONTEXT: Dict[str, object] = {}
+
+
+def _coverage_sweep_init(library, app_features) -> None:
+    _SWEEP_CONTEXT["library"] = library
+    _SWEEP_CONTEXT["app_features"] = app_features
+
+
+def _coverage_sweep_task(task) -> CoverageResult:
+    processor, strategy, seed = task
+    return coverage_experiment(
+        processor,
+        _SWEEP_CONTEXT["library"],
+        strategy,
+        app_features=_SWEEP_CONTEXT["app_features"],
+        seed=seed,
+    )
+
+
+def coverage_sweep(
+    processors: List[Processor],
+    library: TestcaseLibrary,
+    strategy: str,
+    app_features: Optional[Set[Feature]] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> List[CoverageResult]:
+    """Figure 11 across many processors, process-parallel.
+
+    Each processor's experiment is seeded from its own id
+    (``derive_seed(seed, "coverage-sweep", processor_id)``) and results
+    come back in processor order, so the output is bit-identical for
+    any ``workers`` value — parallelism only changes wall-clock time.
+    """
+    tasks = [
+        (
+            processor,
+            strategy,
+            derive_seed(seed, "coverage-sweep", processor.processor_id),
+        )
+        for processor in processors
+    ]
+    return deterministic_map(
+        _coverage_sweep_task,
+        tasks,
+        workers=workers,
+        initializer=_coverage_sweep_init,
+        initargs=(library, app_features),
     )
 
 

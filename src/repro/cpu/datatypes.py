@@ -30,6 +30,7 @@ __all__ = [
     "popcount",
     "relative_precision_loss",
     "random_value",
+    "random_values",
     "FLOAT64X_BIAS",
 ]
 
@@ -220,6 +221,46 @@ def random_value(rng, dtype: DataType):
             return -magnitude
         return magnitude
     return int(rng.integers(0, 1 << min(width, 63)))
+
+
+def random_values(rng, dtype: DataType, count: int) -> List:
+    """Draw ``count`` operand values with batched generator calls.
+
+    Semantically ``[random_value(rng, dtype) for _ in range(count)]``,
+    but the uniform/sign draws are pulled from the generator in one
+    vectorized call instead of ``2 * count`` round trips, which is the
+    dominant cost when materializing large error bursts.  The values are
+    bit-identical to the scalar loop: ``Generator.uniform(a, b)``
+    computes ``a + (b - a) * next_double``, so re-deriving it from
+    ``Generator.random`` output reproduces the same doubles.
+    """
+    if count <= 0:
+        return []
+    if dtype.is_float:
+        draws = rng.random(2 * count)
+        magnitudes = 0.5 + (1000.0 - 0.5) * draws[0::2]
+        return [
+            float(-m) if s < 0.5 else float(m)
+            for m, s in zip(magnitudes, draws[1::2])
+        ]
+    width = dtype.width
+    if dtype.is_integer:
+        max_exponent = math.log10(
+            (1 << (width - 1 if dtype.is_signed else width)) - 1
+        )
+        if dtype.is_signed:
+            draws = rng.random(2 * count)
+            # 10.0 ** x stays a scalar op: Python's pow and NumPy's SIMD
+            # np.power differ in the last ulp, and int() truncation
+            # would amplify that into different operands.
+            return [
+                -int(10.0 ** (max_exponent * u)) if s < 0.5
+                else int(10.0 ** (max_exponent * u))
+                for u, s in zip(draws[0::2], draws[1::2])
+            ]
+        draws = rng.random(count)
+        return [int(10.0 ** (max_exponent * u)) for u in draws]
+    return [int(v) for v in rng.integers(0, 1 << min(width, 63), size=count)]
 
 
 def values_to_masks(

@@ -16,6 +16,7 @@ from .pipeline import (
     TestPipeline,
 )
 from .salvage import SalvageReport, salvage_study
+from .vectorized import VectorizedTestPipeline
 from . import stats
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "PipelineConfig",
     "StageConfig",
     "TestPipeline",
+    "VectorizedTestPipeline",
     "SalvageReport",
     "salvage_study",
     "stats",

@@ -16,10 +16,9 @@ with the detailed runs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import substream
@@ -182,13 +181,15 @@ class TestPipeline:
             settings = self._matching_settings(defect)
         multiplier_sum = self._multiplier_sum(defect)
         expectations: Dict[str, float] = {}
+        if not settings:
+            return expectations
+        # core_multiplier is folded in via multiplier_sum; evaluate
+        # the law once on a unit-multiplier reference core.
+        reference_core = defect.core_ids[0]
+        reference_mult = defect.core_multiplier(reference_core)
+        if reference_mult == 0.0:
+            return expectations
         for testcase, usage in settings:
-            # core_multiplier is folded in via multiplier_sum; evaluate
-            # the law once on a unit-multiplier reference core.
-            reference_core = defect.core_ids[0]
-            reference_mult = defect.core_multiplier(reference_core)
-            if reference_mult == 0.0:
-                continue
             freq = self.trigger.occurrence_frequency(
                 defect,
                 testcase.testcase_id,
@@ -207,7 +208,7 @@ class TestPipeline:
     @staticmethod
     def _detection_probability(expectations: Dict[str, float]) -> float:
         total = sum(expectations.values())
-        return 1.0 - float(np.exp(-total))
+        return 1.0 - math.exp(-total)
 
     def _sample_failing_testcases(
         self, expectations: Dict[str, float]
@@ -216,7 +217,7 @@ class TestPipeline:
         failing = [
             tc_id
             for tc_id, expected in expectations.items()
-            if self._rng.random() < 1.0 - np.exp(-expected)
+            if self._rng.random() < 1.0 - math.exp(-expected)
         ]
         if not failing and expectations:
             failing = [max(expectations, key=expectations.get)]

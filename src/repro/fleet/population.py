@@ -110,8 +110,17 @@ class FleetSpec:
     #: entirely (§2.3: "We did find SDCs that cannot be detected by this
     #: toolchain").
     escape_fraction: float = 0.05
+    #: Multiplier on the per-architecture faulty incidence.  Table 2
+    #: rates leave a 100k-CPU fleet with only a few dozen faulty CPUs;
+    #: benchmarks and parity tests raise this to build dense faulty
+    #: populations without paying for millions of healthy counters.
+    failure_rate_scale: float = 1.0
     onset: OnsetMixture = field(default_factory=OnsetMixture)
     seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_rate_scale <= 0:
+            raise ConfigurationError("failure_rate_scale must be positive")
 
     def resolved_shares(self) -> Dict[str, float]:
         if self.arch_shares is not None:
@@ -253,7 +262,11 @@ def generate_fleet(spec: Optional[FleetSpec] = None) -> FleetPopulation:
         # Table 2 rates are *detected* failure rates; true incidence is
         # higher by the escape fraction.
         detected_rate = from_permyriad(PAPER_ARCH_FAILURE_RATES_PERMYRIAD[name])
-        incidence = detected_rate / (1.0 - spec.escape_fraction)
+        incidence = min(
+            detected_rate / (1.0 - spec.escape_fraction)
+            * spec.failure_rate_scale,
+            1.0,
+        )
         count = int(rng.binomial(arch_counts[name], incidence))
         for index in range(count):
             cpu_name = f"{name}-F{index:04d}"

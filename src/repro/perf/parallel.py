@@ -1,0 +1,81 @@
+"""Deterministic process-parallel mapping for independent campaigns.
+
+Per-CPU toolchain campaigns and coverage experiments are embarrassingly
+parallel: each task owns its processor, its runner, and its substream.
+:func:`deterministic_map` fans such tasks out over a
+``ProcessPoolExecutor`` while keeping the results bit-identical to a
+serial run:
+
+* results are collected **in submission order** (``Executor.map``), so
+  downstream aggregation sees the same sequence regardless of worker
+  scheduling;
+* tasks never share RNG state — callers seed each task from its index
+  (e.g. ``substream(seed, "sweep", str(i))``), so the draw sequence of
+  task *i* is independent of how many workers ran it;
+* ``workers <= 1`` (or an unavailable ``fork``/pool) falls back to a
+  plain serial loop, which is also the cheapest path for small inputs.
+
+The function accepts a module-level ``fn`` plus picklable task payloads.
+An optional ``initializer`` runs once per worker process to build
+expensive shared context (testcase libraries, catalogs) instead of
+pickling it per task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["default_workers", "deterministic_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_workers(task_count: int | None = None) -> int:
+    """A sensible worker count: CPUs, capped by the number of tasks."""
+    workers = os.cpu_count() or 1
+    if task_count is not None:
+        workers = min(workers, task_count)
+    return max(1, workers)
+
+
+def deterministic_map(
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    *,
+    workers: int | None = None,
+    initializer: Callable[..., Any] | None = None,
+    initargs: Iterable[Any] = (),
+    chunksize: int | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``tasks``, returning results in task order.
+
+    The output is independent of ``workers``: parallelism changes only
+    wall-clock time, never the result.  Falls back to a serial loop when
+    ``workers`` resolves to 1, when there are at most 2 tasks, or when a
+    process pool cannot be created (restricted environments).
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = default_workers(len(tasks))
+    workers = min(workers, len(tasks)) if tasks else 1
+    if workers <= 1 or len(tasks) <= 2:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(task) for task in tasks]
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (workers * 4))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=initializer,
+            initargs=tuple(initargs),
+        ) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
+    except (OSError, PermissionError, ValueError):
+        # Sandboxes without /dev/shm or fork support: run serially.
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(task) for task in tasks]

@@ -67,6 +67,16 @@ class TestcaseLibrary:
         self._by_id = {tc.testcase_id: tc for tc in self.testcases}
         if len(self._by_id) != len(self.testcases):
             raise ConfigurationError("duplicate testcase ids in library")
+        # Inverted mnemonic → testcases index and consistency cache.
+        # Both preserve library order, so queries return exactly what
+        # the previous full scans did without the O(633) walk per call.
+        self._by_instruction: Dict[str, List[Testcase]] = {}
+        self._consistency: List[Testcase] = []
+        for tc in self.testcases:
+            if tc.is_consistency:
+                self._consistency.append(tc)
+            for mnemonic in tc.instruction_mix:
+                self._by_instruction.setdefault(mnemonic, []).append(tc)
 
     def __len__(self) -> int:
         return len(self.testcases)
@@ -99,10 +109,10 @@ class TestcaseLibrary:
         ]
 
     def consistency_testcases(self) -> List[Testcase]:
-        return [tc for tc in self.testcases if tc.is_consistency]
+        return list(self._consistency)
 
     def using_instruction(self, mnemonic: str) -> List[Testcase]:
-        return [tc for tc in self.testcases if tc.uses_instruction(mnemonic)]
+        return list(self._by_instruction.get(mnemonic, ()))
 
     def subset(self, ids: Sequence[str]) -> "TestcaseLibrary":
         return TestcaseLibrary([self[i] for i in ids])

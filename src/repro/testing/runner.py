@@ -161,11 +161,12 @@ class ToolchainRunner:
         instruction = self.isa[mnemonic]
         operand_dtype = _operand_dtype(instruction)
         records = []
-        for _ in range(count):
-            operands = tuple(
-                datatypes.random_value(self._rng, operand_dtype)
-                for _ in range(instruction.arity)
-            )
+        arity = instruction.arity
+        # One batched draw for the whole burst instead of per-operand
+        # generator round trips.
+        flat = datatypes.random_values(self._rng, operand_dtype, count * arity)
+        for index in range(count):
+            operands = tuple(flat[index * arity:(index + 1) * arity])
             correct = instruction.execute(*operands)
             event = self.injector.materialize(
                 defect, instruction, correct, self._rng

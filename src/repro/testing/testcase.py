@@ -88,6 +88,15 @@ class Testcase:
             if fraction <= 0:
                 raise ConfigurationError("mix fractions must be positive")
 
+    def _heat_cache(self) -> Dict[int, Tuple[ISA, float]]:
+        # Lazily attached memo for heat_factor; the dataclass is frozen,
+        # so the cache is installed via object.__setattr__.
+        cache = getattr(self, "_heat_memo", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_heat_memo", cache)
+        return cache
+
     # -- usage --------------------------------------------------------------
 
     def usage_per_s(self, mnemonic: str) -> float:
@@ -123,10 +132,16 @@ class Testcase:
         """
         if self.is_consistency:
             return 1.1
-        return sum(
+        cache = self._heat_cache()
+        entry = cache.get(id(isa))
+        if entry is not None and entry[0] is isa:
+            return entry[1]
+        value = sum(
             fraction * isa[m].heat
             for m, fraction in self.instruction_mix.items()
         )
+        cache[id(isa)] = (isa, value)
+        return value
 
     def hot_instructions(self, threshold: float = 0.5) -> Tuple[str, ...]:
         """Instructions taking at least ``threshold`` of the mix."""
