@@ -18,7 +18,9 @@ substrate plus a real implementation of its mitigation system:
 * :mod:`repro.detectors` — the fault-tolerance techniques §6 critiques;
 * :mod:`repro.analysis` — the study's measurement machinery;
 * :mod:`repro.core` — **Farron**, the paper's mitigation system, plus
-  the Alibaba baseline and the §7.2 evaluation harness.
+  the Alibaba baseline and the §7.2 evaluation harness;
+* :mod:`repro.resilience` — checkpoint/resume, supervised retries and
+  degradation, and chaos self-injection for month-scale campaigns.
 
 Quickstart::
 
@@ -60,6 +62,14 @@ from .testing import (
     build_library,
 )
 from .fleet import FleetSpec, TestPipeline, generate_fleet
+from .resilience import (
+    CampaignHealthReport,
+    CampaignSpec,
+    ChaosInjector,
+    CheckpointStore,
+    ResilientCampaign,
+    run_resilient_campaign,
+)
 from .core import (
     AlibabaBaseline,
     ApplicationProfile,
@@ -98,6 +108,12 @@ __all__ = [
     "FleetSpec",
     "TestPipeline",
     "generate_fleet",
+    "CampaignHealthReport",
+    "CampaignSpec",
+    "ChaosInjector",
+    "CheckpointStore",
+    "ResilientCampaign",
+    "run_resilient_campaign",
     "AlibabaBaseline",
     "ApplicationProfile",
     "Farron",

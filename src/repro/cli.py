@@ -8,6 +8,7 @@ Exposes the study's headline experiments without writing any code:
 * ``protect``        — Farron online protection demo on MIX1
 * ``detectors``      — Observation 12's fault-tolerance comparison
 * ``salvage``        — fail-in-place capacity accounting
+* ``resume``         — continue a checkpointed fleet study
 """
 
 from __future__ import annotations
@@ -40,6 +41,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet size (default 300k; the paper used >1M)",
     )
     fleet.add_argument("--seed", type=int, default=1)
+    fleet.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="vectorized",
+        help="campaign engine (vectorized is bit-identical and ~100x faster)",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir", default=None,
+        help="write resumable snapshots here; continue with 'repro resume'",
+    )
+    fleet.add_argument(
+        "--checkpoint-every", type=int, default=4,
+        help="shards between snapshots (default 4)",
+    )
+    fleet.add_argument(
+        "--shard-size", type=int, default=256,
+        help="faulty CPUs per shard, the checkpoint/retry granule",
+    )
 
     sub.add_parser("catalog", help="list the 27 studied faulty processors")
 
@@ -65,21 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
         "salvage", help="fail-in-place capacity accounting"
     )
     salvage.add_argument("--size", type=int, default=300_000)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed fleet study from its newest snapshot",
+    )
+    resume.add_argument(
+        "checkpoint_dir",
+        help="directory previously passed to fleet-study --checkpoint-dir",
+    )
     return parser
 
 
-def _cmd_fleet_study(args) -> int:
+def _print_fleet_tables(campaign) -> None:
     from .analysis import side_by_side
     from .cpu.catalog import PAPER_ARCH_FAILURE_RATES_PERMYRIAD
-    from .fleet import FleetSpec, TestPipeline, generate_fleet, stats
-    from .testing import build_library
+    from .fleet import stats
 
-    fleet = generate_fleet(
-        FleetSpec(total_processors=args.size, seed=args.seed)
-    )
-    campaign = TestPipeline(
-        fleet, build_library(), seed=args.seed
-    ).run()
     paper_timings = {
         "factory": 0.776, "datacenter": 0.18, "reinstall": 2.306,
         "regular": 0.348, "total": 3.61,
@@ -94,6 +113,56 @@ def _cmd_fleet_study(args) -> int:
         stats.arch_failure_rates_permyriad(campaign),
         title="Table 2 — failure rate per micro-architecture (permyriad)",
     ))
+
+
+def _cmd_fleet_study(args) -> int:
+    from .resilience import CampaignSpec, CheckpointStore, ResilientCampaign
+    from .testing import build_library
+
+    spec = CampaignSpec(
+        total_processors=args.size,
+        fleet_seed=args.seed,
+        pipeline_seed=args.seed,
+        engine=args.engine,
+        shard_size=args.shard_size,
+    )
+    store = (
+        CheckpointStore(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None
+    )
+    campaign = ResilientCampaign.from_spec(
+        spec, build_library(),
+        checkpoint_store=store,
+        checkpoint_every=args.checkpoint_every,
+    )
+    result = campaign.run()
+    _print_fleet_tables(result)
+    if store is not None:
+        print()
+        print(f"campaign health: {campaign.health.summary()}")
+        print(f"snapshots in {store.directory} "
+              f"(continue with: repro resume {store.directory})")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .errors import ReproError
+    from .resilience import CheckpointStore, ResilientCampaign
+    from .testing import build_library
+
+    store = CheckpointStore(args.checkpoint_dir)
+    try:
+        campaign = ResilientCampaign.resume(store, build_library())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"resuming at cursor {campaign.cursor} of "
+          f"{len(campaign.population.faulty)} faulty CPUs")
+    result = campaign.run()
+    _print_fleet_tables(result)
+    print()
+    print(f"campaign health: {campaign.health.summary()}")
     return 0
 
 
@@ -225,6 +294,7 @@ _COMMANDS = {
     "protect": _cmd_protect,
     "detectors": _cmd_detectors,
     "salvage": _cmd_salvage,
+    "resume": _cmd_resume,
 }
 
 

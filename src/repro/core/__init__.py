@@ -1,7 +1,7 @@
 """Farron, the paper's SDC mitigation system (§7), plus the baseline."""
 
 from .boundary import AdaptiveTemperatureBoundary, BoundaryDecision
-from .backoff import BackoffController
+from .backoff import BackoffController, ExponentialBackoff
 from .priority import Priority, PriorityDatabase
 from .scheduler import FarronScheduleConfig, FarronScheduler
 from .pool import (
@@ -27,6 +27,7 @@ __all__ = [
     "AdaptiveTemperatureBoundary",
     "BoundaryDecision",
     "BackoffController",
+    "ExponentialBackoff",
     "Priority",
     "PriorityDatabase",
     "FarronScheduleConfig",

@@ -14,13 +14,69 @@ temperature drops back, accounting every throttled second (Table 4's
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..errors import ConfigurationError
+from ..rng import substream
 from .boundary import AdaptiveTemperatureBoundary, BoundaryDecision
 
-__all__ = ["BackoffController"]
+__all__ = ["BackoffController", "ExponentialBackoff"]
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Exponential retry backoff with deterministic jitter.
+
+    The *workload* backoff below throttles an application; this is the
+    other backoff the resilience layer needs — how long to wait before
+    retrying a flaky worker or shard.  Delays grow geometrically to a
+    cap, and jitter (which de-synchronizes a fleet of retrying
+    scanners) is derived from ``(seed, key, attempt)`` through
+    :func:`repro.rng.substream` rather than the wall clock, so a
+    resumed campaign replays the same schedule.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    cap_s: float = 5.0
+    #: Multiplicative jitter half-width: delay scales by a factor drawn
+    #: uniformly from [1 - jitter, 1 + jitter].
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.base_s) or self.base_s < 0:
+            raise ConfigurationError(
+                f"base_s must be a non-negative finite number of seconds, "
+                f"got {self.base_s!r}"
+            )
+        if not math.isfinite(self.factor) or self.factor < 1.0:
+            raise ConfigurationError(
+                f"factor must be >= 1 (delays must not shrink), got "
+                f"{self.factor!r}"
+            )
+        if not math.isfinite(self.cap_s) or self.cap_s < self.base_s:
+            raise ConfigurationError(
+                f"cap_s must be finite and >= base_s, got {self.cap_s!r}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter!r}"
+            )
+
+    def delay_s(self, attempt: int, key: str = "") -> float:
+        """Delay before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            raise ConfigurationError(
+                f"attempt is 1-based, got {attempt!r}"
+            )
+        delay = min(self.base_s * self.factor ** (attempt - 1), self.cap_s)
+        if self.jitter > 0.0 and delay > 0.0:
+            rng = substream(self.seed, "retry-backoff", key, str(attempt))
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 @dataclass
@@ -41,7 +97,13 @@ class BackoffController:
     def __post_init__(self) -> None:
         if not 0.0 <= self.backoff_utilization < 1.0:
             raise ConfigurationError(
-                "backoff_utilization must be in [0, 1)"
+                f"backoff_utilization must be in [0, 1), got "
+                f"{self.backoff_utilization!r}"
+            )
+        if not math.isfinite(self.hold_s) or self.hold_s < 0:
+            raise ConfigurationError(
+                f"hold_s must be a non-negative finite number of seconds, "
+                f"got {self.hold_s!r}"
             )
         self._backing_off = False
         self._backoff_seconds = 0.0
@@ -85,10 +147,22 @@ class BackoffController:
         temperature falls back below the boundary ("until the
         temperature is below the boundary", §7.1).
         """
-        if dt_s <= 0:
-            raise ConfigurationError("dt_s must be positive")
+        if not math.isfinite(dt_s) or dt_s <= 0:
+            raise ConfigurationError(
+                f"dt_s must be a positive finite control interval in "
+                f"seconds, got {dt_s!r}"
+            )
         if not 0.0 <= requested_utilization <= 1.0:
-            raise ConfigurationError("utilization must be in [0, 1]")
+            # Also rejects NaN (every comparison with NaN is false).
+            raise ConfigurationError(
+                f"requested_utilization must be in [0, 1], got "
+                f"{requested_utilization!r}"
+            )
+        if not math.isfinite(temperature_c):
+            raise ConfigurationError(
+                f"temperature_c must be finite (a NaN sample would poison "
+                f"the adaptive boundary window), got {temperature_c!r}"
+            )
         if self._backing_off:
             # Throttled/recovery temperatures are not "standard working
             # temperature" samples — feeding them into the boundary's

@@ -193,14 +193,26 @@ def coverage_sweep(
     app_features: Optional[Set[Feature]] = None,
     seed: int = 0,
     workers: Optional[int] = None,
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
+    health=None,
 ) -> List[CoverageResult]:
-    """Figure 11 across many processors, process-parallel.
+    """Figure 11 across many processors, process-parallel and supervised.
 
     Each processor's experiment is seeded from its own id
     (``derive_seed(seed, "coverage-sweep", processor_id)``) and results
     come back in processor order, so the output is bit-identical for
     any ``workers`` value — parallelism only changes wall-clock time.
+    Retries and pool degradation re-run pure tasks, so supervision
+    (``retries``, ``timeout_s``, ``health`` — see
+    :func:`repro.perf.parallel.deterministic_map`) never changes
+    results either; a sweep item that keeps failing surfaces as
+    :class:`~repro.errors.TransientWorkerError` naming the processor.
     """
+    if strategy not in ("baseline", "farron"):
+        # Fail fast in the parent: otherwise every worker task fails
+        # one by one, each burning its whole retry budget.
+        raise ConfigurationError(f"unknown strategy {strategy!r}")
     tasks = [
         (
             processor,
@@ -215,6 +227,9 @@ def coverage_sweep(
         workers=workers,
         initializer=_coverage_sweep_init,
         initargs=(library, app_features),
+        retries=retries,
+        timeout_s=timeout_s,
+        health=health,
     )
 
 
@@ -264,8 +279,12 @@ def simulate_online(
       impact on application performance, but unfortunately it is not
       widely applicable in Alibaba Cloud yet", §5).
     """
-    if hours <= 0:
-        raise ConfigurationError("hours must be positive")
+    if not math.isfinite(hours) or hours <= 0:
+        raise ConfigurationError(f"hours must be positive, got {hours!r}")
+    if not math.isfinite(dt_s) or dt_s <= 0:
+        raise ConfigurationError(
+            f"dt_s must be a positive finite step in seconds, got {dt_s!r}"
+        )
     if control not in ("backoff", "cooling"):
         raise ConfigurationError("control must be 'backoff' or 'cooling'")
     trigger = trigger or TriggerModel()

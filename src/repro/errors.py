@@ -32,6 +32,56 @@ class DecommissionError(ReproError):
     """An invalid core/processor decommission operation was requested."""
 
 
+class ResilienceError(ReproError):
+    """Base class for campaign-resilience failures (checkpointing,
+    supervision, degradation).  Subclasses distinguish *transient*
+    conditions worth retrying from permanent corruption."""
+
+
+class TransientWorkerError(ResilienceError):
+    """A supervised worker task failed in a way that may succeed on
+    retry (worker crash, injected fault, timeout).
+
+    Carries the failing item's position and repr so a multi-hour sweep
+    that ultimately gives up points straight at the offending input.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        item_index: int | None = None,
+        item_repr: str | None = None,
+        attempts: int = 1,
+    ):
+        super().__init__(message)
+        self.item_index = item_index
+        self.item_repr = item_repr
+        self.attempts = attempts
+
+
+class CheckpointError(ResilienceError):
+    """A campaign checkpoint could not be written or read."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed its CRC/structure self-check (torn
+    write, bit rot, truncation)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint was written by an incompatible format version."""
+
+
+class ParityDegradedError(ResilienceError):
+    """The vectorized engine's parity self-check tripped on a shard;
+    the campaign must fall back to the scalar engine for that shard."""
+
+
+class CampaignAbortedError(ResilienceError):
+    """A resilient campaign exhausted its restart/retry budget."""
+
+
 class CoherenceError(SimulationError):
     """The cache-coherence simulator detected a protocol violation that is
     not attributable to an injected defect (i.e. a simulator bug)."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError
-from ..rng import substream
+from ..rng import CountedStream
 from ..cpu.defects import Defect
 from ..cpu.features import Feature
 from ..cpu.processor import Processor
@@ -56,8 +56,31 @@ class StageConfig:
     recurring_days: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.per_testcase_s <= 0:
-            raise ConfigurationError("per_testcase_s must be positive")
+        if not self.name:
+            raise ConfigurationError("stage name must be non-empty")
+        if not math.isfinite(self.per_testcase_s) or self.per_testcase_s <= 0:
+            raise ConfigurationError(
+                f"stage {self.name!r}: per_testcase_s must be a positive "
+                f"finite number, got {self.per_testcase_s!r}"
+            )
+        if not math.isfinite(self.time_days) or self.time_days < 0:
+            raise ConfigurationError(
+                f"stage {self.name!r}: time_days must be a non-negative "
+                f"finite number of days since factory delivery, got "
+                f"{self.time_days!r}"
+            )
+        if not math.isfinite(self.test_temp_c):
+            raise ConfigurationError(
+                f"stage {self.name!r}: test_temp_c must be finite, got "
+                f"{self.test_temp_c!r}"
+            )
+        if self.recurring_days is not None and (
+            not math.isfinite(self.recurring_days) or self.recurring_days <= 0
+        ):
+            raise ConfigurationError(
+                f"stage {self.name!r}: recurring_days must be None (one-shot) "
+                f"or a positive finite period, got {self.recurring_days!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -77,6 +100,26 @@ class PipelineConfig:
         ),
     )
     horizon_days: float = STUDY_HORIZON_DAYS
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("pipeline needs at least one stage")
+        if not math.isfinite(self.horizon_days) or self.horizon_days <= 0:
+            raise ConfigurationError(
+                f"horizon_days must be a positive finite number, got "
+                f"{self.horizon_days!r}"
+            )
+        # Both engines cache per-stage expectations by stage *name*;
+        # same-named stages with different parameters would silently
+        # reuse the wrong cache entry, so reject them up front.
+        seen: Dict[str, StageConfig] = {}
+        for stage in self.stages:
+            twin = seen.setdefault(stage.name, stage)
+            if twin != stage:
+                raise ConfigurationError(
+                    f"stages named {stage.name!r} have conflicting "
+                    f"parameters; same-named stages must be identical"
+                )
 
     def pre_production_stage_names(self) -> Tuple[str, ...]:
         return tuple(s.name for s in self.stages if s.recurring_days is None)
@@ -139,7 +182,10 @@ class TestPipeline:
         self.library = library
         self.config = config or PipelineConfig()
         self.trigger = trigger_model or TriggerModel()
-        self._rng = substream(seed, "pipeline")
+        #: The campaign's single Bernoulli stream.  A counted stream so
+        #: checkpointing can record the exact draw position and a
+        #: resumed run continues bit-identically (see repro.resilience).
+        self._stream = CountedStream(seed, "pipeline")
 
     # -- matching settings ---------------------------------------------------
 
@@ -217,7 +263,7 @@ class TestPipeline:
         failing = [
             tc_id
             for tc_id, expected in expectations.items()
-            if self._rng.random() < 1.0 - math.exp(-expected)
+            if self._stream.draw() < 1.0 - math.exp(-expected)
         ]
         if not failing and expectations:
             failing = [max(expectations, key=expectations.get)]
@@ -244,8 +290,21 @@ class TestPipeline:
             population_total=self.population.total,
             arch_counts=dict(self.population.arch_counts),
         )
+        self.run_range(0, len(self.population.faulty), result)
+        return result
+
+    def run_range(
+        self, start: int, stop: int, result: FleetStudyResult
+    ) -> FleetStudyResult:
+        """Run faulty CPUs ``[start, stop)``, appending into ``result``.
+
+        The campaign stream position carries across calls, so covering
+        the population in consecutive ranges (possibly interleaved with
+        the vectorized engine, or across a checkpoint/resume boundary)
+        produces bit-identical output to one :meth:`run` call.
+        """
         occurrences = self._stage_occurrences()
-        for processor in self.population.faulty:
+        for processor in self.population.faulty[start:stop]:
             detection = self._run_processor(processor, occurrences)
             if detection is None:
                 result.undetected_ids.append(processor.processor_id)
@@ -275,7 +334,7 @@ class TestPipeline:
                 expectations = self.expected_stage_errors(defect, stage, settings)
                 per_stage[stage.name] = expectations
             probability = self._detection_probability(expectations)
-            if probability > 0.0 and self._rng.random() < probability:
+            if probability > 0.0 and self._stream.draw() < probability:
                 return Detection(
                     processor_id=processor.processor_id,
                     arch_name=processor.arch.name,

@@ -62,10 +62,6 @@ from .population import FleetPopulation
 
 __all__ = ["VectorizedTestPipeline"]
 
-#: Bernoulli draws are pulled from the pipeline stream in blocks of this
-#: size; block draws emit the identical double sequence as scalar draws.
-_DRAW_BLOCK = 1 << 15
-
 
 class VectorizedTestPipeline:
     """Batch campaign engine, detection-for-detection equal to scalar."""
@@ -93,6 +89,10 @@ class VectorizedTestPipeline:
         # Settings skeletons per match signature: defects sampled from
         # the same instruction pool share their testcase rows.
         self._skeletons: Dict[object, Tuple] = {}
+        # The lowering is deterministic and consumes no pipeline-stream
+        # draws, so it is computed once and reused across run_range
+        # calls (sharded campaigns, checkpoint resume).
+        self._lowered: Optional[Tuple] = None
 
     # -- lowering ----------------------------------------------------------
 
@@ -161,6 +161,18 @@ class VectorizedTestPipeline:
             population_total=self.population.total,
             arch_counts=dict(self.population.arch_counts),
         )
+        self.run_range(0, len(self.population.faulty), result)
+        return result
+
+    def _lower(self) -> Tuple:
+        """Population → struct-of-arrays + per-stage-kind expectations.
+
+        Pure function of the population/config/trigger (no pipeline
+        stream draws), cached so sharded and resumed campaigns pay for
+        it once.
+        """
+        if self._lowered is not None:
+            return self._lowered
         occurrences = self._scalar._stage_occurrences()
 
         # Distinct stage kinds in first-occurrence order (the scalar
@@ -349,21 +361,51 @@ class VectorizedTestPipeline:
                 ).tolist()
             )
 
-        # ---- sequential Bernoulli replay on the pipeline stream ----
-        # Draws come off the real pipeline generator in blocks
-        # (``Generator.random(n)`` emits the same doubles as n scalar
-        # calls).  A detection consumes exactly one draw per e>0 pair,
-        # so the failing-testcase block can be sliced out wholesale.
-        rng = self._scalar._rng
-        buffer: List[float] = []
-        cursor = 0
-        limit = 0
-        cpu_probs = list(zip(*kind_probs))
+        self._lowered = (
+            schedule,
+            cpu_skip,
+            cpu_onset,
+            cpu_pair_start,
+            pair_tc,
+            kind_values,
+            list(zip(*kind_probs)),
+            kind_nnz,
+        )
+        return self._lowered
+
+    def run_range(
+        self, start: int, stop: int, result: FleetStudyResult
+    ) -> FleetStudyResult:
+        """Replay faulty CPUs ``[start, stop)``, appending into ``result``.
+
+        Sequential Bernoulli replay on the shared pipeline stream.
+        Draws come off the counted stream in blocks
+        (``Generator.random(n)`` emits the same doubles as n scalar
+        calls).  A detection consumes exactly one draw per e>0 pair, so
+        the failing-testcase block can be sliced out wholesale.  The
+        stream position carries across calls and across the scalar
+        engine, so any per-shard engine mix is bit-identical to one
+        uninterrupted run.
+        """
+        (
+            schedule,
+            cpu_skip,
+            cpu_onset,
+            cpu_pair_start,
+            pair_tc,
+            kind_values,
+            cpu_probs,
+            kind_nnz,
+        ) = self._lower()
+        stream = self._scalar._stream
+        draw = stream.draw
+        draw_many = stream.draw_many
         sample_failing = self._sample_failing
         detections_append = result.detections.append
         undetected_append = result.undetected_ids.append
 
-        for cpu, processor in enumerate(faulty):
+        for cpu in range(start, stop):
+            processor = self.population.faulty[cpu]
             if cpu_skip[cpu]:
                 undetected_append(processor.processor_id)
                 continue
@@ -376,22 +418,8 @@ class VectorizedTestPipeline:
                 probability = probs[kind]
                 if probability <= 0.0:
                     continue
-                if cursor == limit:
-                    buffer = rng.random(_DRAW_BLOCK).tolist()
-                    cursor = 0
-                    limit = _DRAW_BLOCK
-                value = buffer[cursor]
-                cursor += 1
-                if value < probability:
+                if draw() < probability:
                     count = kind_nnz[kind][cpu]
-                    if cursor + count > limit:
-                        buffer = buffer[cursor:] + rng.random(
-                            _DRAW_BLOCK
-                        ).tolist()
-                        cursor = 0
-                        limit = len(buffer)
-                    block = buffer[cursor:cursor + count]
-                    cursor += count
                     detection = Detection(
                         processor_id=processor.processor_id,
                         arch_name=processor.arch.name,
@@ -402,7 +430,7 @@ class VectorizedTestPipeline:
                             pair_tc,
                             cpu_pair_start[cpu],
                             cpu_pair_start[cpu + 1],
-                            block,
+                            draw_many(count),
                         ),
                     )
                     break

@@ -1,4 +1,4 @@
-"""Deterministic process-parallel mapping for independent campaigns.
+"""Deterministic, supervised process-parallel mapping.
 
 Per-CPU toolchain campaigns and coverage experiments are embarrassingly
 parallel: each task owns its processor, its runner, and its substream.
@@ -6,14 +6,32 @@ parallel: each task owns its processor, its runner, and its substream.
 ``ProcessPoolExecutor`` while keeping the results bit-identical to a
 serial run:
 
-* results are collected **in submission order** (``Executor.map``), so
-  downstream aggregation sees the same sequence regardless of worker
-  scheduling;
+* results are collected **in submission order**, so downstream
+  aggregation sees the same sequence regardless of worker scheduling;
 * tasks never share RNG state — callers seed each task from its index
   (e.g. ``substream(seed, "sweep", str(i))``), so the draw sequence of
   task *i* is independent of how many workers ran it;
 * ``workers <= 1`` (or an unavailable ``fork``/pool) falls back to a
   plain serial loop, which is also the cheapest path for small inputs.
+
+On top of the deterministic mapping sits a **supervisor**, because at
+fleet scale the harness itself fails: workers are OOM-killed, items
+flake, hosts stall.  The supervision ladder is
+
+1. a worker-side failure is re-raised as
+   :class:`~repro.errors.TransientWorkerError` carrying the failing
+   item's index and repr (never a bare, context-free exception);
+2. failed items are retried up to ``retries`` times with
+   :class:`~repro.core.backoff.ExponentialBackoff` delays;
+3. a broken pool (killed worker) or a per-item timeout degrades the
+   remaining work to serial execution in the parent instead of
+   crashing the sweep;
+4. every fault, retry, and degradation is recorded on the optional
+   ``health`` report (:class:`repro.resilience.CampaignHealthReport`).
+
+Retries and degradation never change results: tasks are pure functions
+of their payload, so re-running one — in a worker or in the parent —
+yields the identical value.
 
 The function accepts a module-level ``fn`` plus picklable task payloads.
 An optional ``initializer`` runs once per worker process to build
@@ -24,13 +42,24 @@ pickling it per task.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..core.backoff import ExponentialBackoff
+from ..errors import TransientWorkerError
 
 __all__ = ["default_workers", "deterministic_map"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Event kinds mirrored from repro.resilience.health (duck-typed here to
+#: keep this low-level module import-light).
+_KIND_FAULT = "fault"
+_KIND_RETRY = "retry"
+_KIND_DEGRADATION = "degradation"
 
 
 def default_workers(task_count: int | None = None) -> int:
@@ -41,6 +70,107 @@ def default_workers(task_count: int | None = None) -> int:
     return max(1, workers)
 
 
+def _record(health, kind: str, detail: str, item: int | None = None) -> None:
+    if health is not None:
+        health.record(kind, detail, item=item)
+
+
+def _chunk_runner(payload: Tuple[Callable, int, Sequence]) -> Tuple:
+    """Worker-side chunk loop.
+
+    Failures come back as a value, not a raised exception: exception
+    pickling drops ``__cause__`` chains, and a descriptor lets the
+    parent pinpoint the failing item while keeping the already-computed
+    prefix of the chunk.
+    """
+    fn, base_index, items = payload
+    results: List[Any] = []
+    for offset, item in enumerate(items):
+        try:
+            results.append(fn(item))
+        except Exception as error:  # noqa: BLE001 — descriptor, re-raised in parent
+            return (
+                "err",
+                results,
+                base_index + offset,
+                repr(item),
+                f"{type(error).__name__}: {error}",
+            )
+    return ("ok", results)
+
+
+def _run_item_supervised(
+    fn: Callable[[_T], _R],
+    item: _T,
+    index: int,
+    *,
+    retries: int,
+    backoff: ExponentialBackoff,
+    health,
+    failures: int = 0,
+    last_error: str = "",
+) -> _R:
+    """Run one item in the current process, retrying with backoff.
+
+    ``failures`` counts attempts already burned elsewhere (e.g. in a
+    worker process) so the retry budget is global per item.
+    """
+    while True:
+        if failures > 0:
+            if failures > retries:
+                raise TransientWorkerError(
+                    f"task {index} ({last_error}) failed "
+                    f"{failures} time(s); retry budget is {retries}",
+                    item_index=index,
+                    item_repr=repr(item),
+                    attempts=failures,
+                )
+            delay = backoff.delay_s(failures, f"item-{index}")
+            _record(
+                health,
+                _KIND_RETRY,
+                f"retry {failures}/{retries} after {last_error} "
+                f"(backoff {delay:.3f}s)",
+                item=index,
+            )
+            if delay > 0.0:
+                time.sleep(delay)
+        try:
+            return fn(item)
+        except Exception as error:  # noqa: BLE001
+            failures += 1
+            last_error = f"{type(error).__name__}: {error}"
+            _record(health, _KIND_FAULT, last_error, item=index)
+            if failures > retries:
+                raise TransientWorkerError(
+                    f"task {index} failed {failures} time(s): {last_error} "
+                    f"(item {item!r})",
+                    item_index=index,
+                    item_repr=repr(item),
+                    attempts=failures,
+                ) from error
+
+
+def _serial_map(
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    start: int,
+    *,
+    retries: int,
+    backoff: ExponentialBackoff,
+    health,
+    out: List[_R],
+) -> List[_R]:
+    for offset, item in enumerate(tasks):
+        out.append(
+            _run_item_supervised(
+                fn, item, start + offset,
+                retries=retries, backoff=backoff, health=health,
+            )
+        )
+    return out
+
+
 def deterministic_map(
     fn: Callable[[_T], _R],
     tasks: Sequence[_T],
@@ -49,6 +179,10 @@ def deterministic_map(
     initializer: Callable[..., Any] | None = None,
     initargs: Iterable[Any] = (),
     chunksize: int | None = None,
+    retries: int = 0,
+    timeout_s: float | None = None,
+    backoff: Optional[ExponentialBackoff] = None,
+    health=None,
 ) -> list[_R]:
     """Map ``fn`` over ``tasks``, returning results in task order.
 
@@ -56,26 +190,169 @@ def deterministic_map(
     wall-clock time, never the result.  Falls back to a serial loop when
     ``workers`` resolves to 1, when there are at most 2 tasks, or when a
     process pool cannot be created (restricted environments).
+
+    Supervision (all optional):
+
+    * ``retries`` — per-item retry budget; a worker-side failure counts
+      as the first attempt and remaining attempts run in the parent.
+      When the budget is exhausted the failure is re-raised as
+      :class:`TransientWorkerError` naming the item's index and repr.
+    * ``timeout_s`` — per-item time allowance.  A chunk that exceeds
+      ``timeout_s × len(chunk)`` is abandoned (its pool is shut down
+      without waiting) and the remaining work degrades to serial
+      execution; a wedged *function* will still hang the serial pass,
+      which is what CI-level global timeouts are for.
+    * ``backoff`` — delay schedule between retries (defaults to a
+      deterministic ~50 ms-base exponential).
+    * ``health`` — a ``CampaignHealthReport`` to receive fault/retry/
+      degradation events.
     """
     tasks = list(tasks)
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
+    backoff = backoff or ExponentialBackoff(base_s=0.05, cap_s=2.0)
     if workers is None:
         workers = default_workers(len(tasks))
     workers = min(workers, len(tasks)) if tasks else 1
     if workers <= 1 or len(tasks) <= 2:
         if initializer is not None:
             initializer(*initargs)
-        return [fn(task) for task in tasks]
+        return _serial_map(
+            fn, tasks, 0,
+            retries=retries, backoff=backoff, health=health, out=[],
+        )
     if chunksize is None:
         chunksize = max(1, len(tasks) // (workers * 4))
+    chunks: List[Tuple[int, List[_T]]] = [
+        (start, tasks[start:start + chunksize])
+        for start in range(0, len(tasks), chunksize)
+    ]
+
+    results: List[_R] = []
+    pool: ProcessPoolExecutor | None = None
     try:
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=initializer,
             initargs=tuple(initargs),
-        ) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
-    except (OSError, PermissionError, ValueError):
+        )
+        futures = [
+            pool.submit(_chunk_runner, (fn, start, chunk))
+            for start, chunk in chunks
+        ]
+    except (OSError, PermissionError, ValueError) as error:
         # Sandboxes without /dev/shm or fork support: run serially.
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        _record(
+            health, _KIND_DEGRADATION,
+            f"process pool unavailable ({type(error).__name__}: {error}); "
+            f"running serially",
+        )
         if initializer is not None:
             initializer(*initargs)
-        return [fn(task) for task in tasks]
+        return _serial_map(
+            fn, tasks, 0,
+            retries=retries, backoff=backoff, health=health, out=[],
+        )
+
+    # Parent-side execution (retries, degraded serial tail) needs the
+    # worker context too; build it lazily, at most once.
+    parent_ready = False
+
+    def ensure_parent_init() -> None:
+        nonlocal parent_ready
+        if not parent_ready:
+            if initializer is not None:
+                initializer(*initargs)
+            parent_ready = True
+
+    degraded_reason: str | None = None
+    try:
+        for chunk_index, (start, chunk) in enumerate(chunks):
+            if degraded_reason is not None:
+                ensure_parent_init()
+                _serial_map(
+                    fn, chunk, start,
+                    retries=retries, backoff=backoff, health=health,
+                    out=results,
+                )
+                continue
+            future = futures[chunk_index]
+            chunk_timeout = (
+                timeout_s * len(chunk) if timeout_s is not None else None
+            )
+            try:
+                outcome = future.result(timeout=chunk_timeout)
+            except FutureTimeout:
+                degraded_reason = (
+                    f"chunk at {start} exceeded {chunk_timeout:.1f}s"
+                )
+                _record(
+                    health, _KIND_FAULT,
+                    f"timeout: {degraded_reason}", item=start,
+                )
+                _record(
+                    health, _KIND_DEGRADATION,
+                    "pool abandoned after timeout; remaining tasks run "
+                    "serially",
+                )
+                pool.shutdown(wait=False, cancel_futures=True)
+                ensure_parent_init()
+                _serial_map(
+                    fn, chunk, start,
+                    retries=retries, backoff=backoff, health=health,
+                    out=results,
+                )
+                continue
+            except BrokenProcessPool:
+                degraded_reason = "process pool broke (worker died)"
+                _record(
+                    health, _KIND_FAULT,
+                    f"{degraded_reason} while waiting on chunk at {start}",
+                    item=start,
+                )
+                _record(
+                    health, _KIND_DEGRADATION,
+                    "remaining tasks run serially in the parent",
+                )
+                pool.shutdown(wait=False, cancel_futures=True)
+                ensure_parent_init()
+                _serial_map(
+                    fn, chunk, start,
+                    retries=retries, backoff=backoff, health=health,
+                    out=results,
+                )
+                continue
+            if outcome[0] == "ok":
+                results.extend(outcome[1])
+                continue
+            # Worker-side item failure: keep the chunk's computed
+            # prefix, charge the failure against the item's retry
+            # budget, and finish the chunk in the parent.
+            _, prefix, fail_index, item_repr, cause = outcome
+            results.extend(prefix)
+            _record(
+                health, _KIND_FAULT,
+                f"worker failure on task {fail_index} ({item_repr}): {cause}",
+                item=fail_index,
+            )
+            failed_item = tasks[fail_index]
+            ensure_parent_init()
+            results.append(
+                _run_item_supervised(
+                    fn, failed_item, fail_index,
+                    retries=retries, backoff=backoff, health=health,
+                    failures=1, last_error=cause,
+                )
+            )
+            remainder_start = fail_index + 1
+            _serial_map(
+                fn, tasks[remainder_start:start + len(chunk)], remainder_start,
+                retries=retries, backoff=backoff, health=health, out=results,
+            )
+    finally:
+        pool.shutdown(wait=degraded_reason is None, cancel_futures=True)
+    return results

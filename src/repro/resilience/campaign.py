@@ -1,0 +1,522 @@
+"""Resilient fleet-campaign execution: shards, snapshots, degradation.
+
+:class:`ResilientCampaign` wraps the scalar
+:class:`~repro.fleet.pipeline.TestPipeline` and the vectorized
+:class:`~repro.fleet.vectorized.VectorizedTestPipeline` behind one
+supervised loop that a production deployment could actually run for 32
+months:
+
+* the faulty population is processed in **shards** (contiguous CPU
+  ranges) so there is a natural retry/degradation/checkpoint boundary;
+* after every ``checkpoint_every`` shards the full campaign state —
+  stage cursor, partial detections, and the **exact draw position** of
+  the pipeline's Bernoulli substream — is snapshotted through
+  :mod:`repro.resilience.checkpoint`;
+* a shard that fails transiently is retried with exponential backoff;
+  a shard whose vectorized parity self-check trips is **degraded** to
+  the scalar engine (whose output is the ground truth by construction);
+* every fault, retry, degradation, and snapshot lands in a
+  :class:`~repro.resilience.health.CampaignHealthReport`.
+
+Because both engines consume the same counted stream and checkpoints
+record its exact position, a campaign that crashes, resumes, retries,
+and degrades produces a :class:`~repro.fleet.pipeline.FleetStudyResult`
+**bit-identical** to an uninterrupted run at the same seed — the
+invariant the chaos suite (``tests/chaos/``) enforces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.backoff import ExponentialBackoff
+from ..errors import (
+    CampaignAbortedError,
+    ConfigurationError,
+    ParityDegradedError,
+    TransientWorkerError,
+)
+from ..fleet.pipeline import Detection, FleetStudyResult, PipelineConfig
+from ..fleet.population import FleetPopulation, FleetSpec, generate_fleet
+from ..fleet.vectorized import VectorizedTestPipeline
+from ..testing.library import TestcaseLibrary
+from .chaos import ChaosInjector, InjectedKillError
+from .checkpoint import CheckpointStore
+from .health import (
+    KIND_CHECKPOINT,
+    KIND_DEGRADATION,
+    KIND_RESUME,
+    KIND_RETRY,
+    CampaignHealthReport,
+)
+
+__all__ = ["CampaignSpec", "ResilientCampaign", "run_resilient_campaign"]
+
+ENGINES = ("scalar", "vectorized")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to rebuild a campaign in a fresh process.
+
+    Checkpoints embed this spec, so ``repro resume <dir>`` can
+    regenerate the identical population and library without the caller
+    re-supplying them.
+    """
+
+    total_processors: int
+    fleet_seed: int = 1
+    pipeline_seed: int = 11
+    failure_rate_scale: float = 1.0
+    escape_fraction: float = 0.05
+    engine: str = "vectorized"
+    shard_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.total_processors <= 0:
+            raise ConfigurationError("total_processors must be positive")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.shard_size <= 0:
+            raise ConfigurationError("shard_size must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_processors": self.total_processors,
+            "fleet_seed": self.fleet_seed,
+            "pipeline_seed": self.pipeline_seed,
+            "failure_rate_scale": self.failure_rate_scale,
+            "escape_fraction": self.escape_fraction,
+            "engine": self.engine,
+            "shard_size": self.shard_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
+        try:
+            return cls(**{key: data[key] for key in cls.__dataclass_fields__})
+        except KeyError as error:
+            raise ConfigurationError(
+                f"campaign spec is missing field {error.args[0]!r}"
+            ) from error
+
+    def build_population(self) -> FleetPopulation:
+        return generate_fleet(
+            FleetSpec(
+                total_processors=self.total_processors,
+                seed=self.fleet_seed,
+                failure_rate_scale=self.failure_rate_scale,
+                escape_fraction=self.escape_fraction,
+            )
+        )
+
+
+def _detection_to_row(detection: Detection) -> list:
+    return [
+        detection.processor_id,
+        detection.arch_name,
+        detection.stage_name,
+        detection.day,
+        list(detection.failing_testcase_ids),
+    ]
+
+
+def _detection_from_row(row: list) -> Detection:
+    return Detection(
+        processor_id=row[0],
+        arch_name=row[1],
+        stage_name=row[2],
+        day=row[3],
+        failing_testcase_ids=tuple(row[4]),
+    )
+
+
+class ResilientCampaign:
+    """One supervised, checkpointed, degradable fleet campaign."""
+
+    def __init__(
+        self,
+        population: FleetPopulation,
+        library: TestcaseLibrary,
+        *,
+        spec: Optional[CampaignSpec] = None,
+        config: Optional[PipelineConfig] = None,
+        seed: int = 11,
+        engine: str = "vectorized",
+        shard_size: int = 256,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every: int = 1,
+        chaos: Optional[ChaosInjector] = None,
+        health: Optional[CampaignHealthReport] = None,
+        max_shard_retries: int = 3,
+        retry_backoff: Optional[ExponentialBackoff] = None,
+        verify_parity: bool = False,
+    ):
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if shard_size <= 0:
+            raise ConfigurationError("shard_size must be positive")
+        if checkpoint_every <= 0:
+            raise ConfigurationError("checkpoint_every must be positive")
+        if max_shard_retries < 0:
+            raise ConfigurationError("max_shard_retries must be >= 0")
+        self.population = population
+        self.library = library
+        self.spec = spec
+        self.engine = engine
+        self.shard_size = shard_size
+        self.store = checkpoint_store
+        self.checkpoint_every = checkpoint_every
+        self.chaos = chaos
+        self.health = health if health is not None else CampaignHealthReport()
+        if chaos is not None and chaos.health is None:
+            chaos.health = self.health
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff = retry_backoff or ExponentialBackoff(
+            base_s=0.05, cap_s=1.0, seed=seed
+        )
+        self.verify_parity = verify_parity
+        # One vectorized engine; its embedded scalar engine shares the
+        # counted pipeline stream, so either can execute any shard.
+        self._vectorized = VectorizedTestPipeline(
+            population, library, config, None, seed
+        )
+        self._scalar = self._vectorized._scalar
+        self._stream = self._scalar._stream
+        self._cursor = 0
+        self._shards_since_checkpoint = 0
+        self.result = FleetStudyResult(
+            population_total=population.total,
+            arch_counts=dict(population.arch_counts),
+        )
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: CampaignSpec, library: TestcaseLibrary, **kwargs):
+        kwargs.setdefault("engine", spec.engine)
+        kwargs.setdefault("shard_size", spec.shard_size)
+        return cls(
+            spec.build_population(),
+            library,
+            spec=spec,
+            seed=spec.pipeline_seed,
+            **kwargs,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        store: CheckpointStore,
+        library: TestcaseLibrary,
+        *,
+        population: Optional[FleetPopulation] = None,
+        spec: Optional[CampaignSpec] = None,
+        health: Optional[CampaignHealthReport] = None,
+        **kwargs,
+    ) -> "ResilientCampaign":
+        """Rebuild a campaign from the newest usable snapshot.
+
+        ``population`` short-circuits fleet regeneration when the
+        caller still holds it (in-process supervisor restarts); the CLI
+        path rebuilds everything from the embedded spec.  Raises
+        :class:`ConfigurationError` when no usable snapshot exists.
+        """
+        probe_health = health if health is not None else CampaignHealthReport()
+        payload = store.load_latest(probe_health)
+        if payload is None:
+            raise ConfigurationError(
+                f"no usable checkpoint in {store.directory}"
+            )
+        saved_spec = payload.get("spec")
+        if spec is None and saved_spec is not None:
+            spec = CampaignSpec.from_dict(saved_spec)  # type: ignore[arg-type]
+        if spec is not None and saved_spec is not None:
+            if spec.to_dict() != saved_spec:
+                raise ConfigurationError(
+                    "checkpoint was written by a campaign with a different "
+                    f"spec: {saved_spec!r} != {spec.to_dict()!r}"
+                )
+        if population is None:
+            if spec is None:
+                raise ConfigurationError(
+                    "checkpoint embeds no spec; pass population= explicitly"
+                )
+            population = spec.build_population()
+        if health is None:
+            # Cross-process resume: the snapshot carries the history.
+            probe_fallbacks = probe_health.events
+            probe_health = CampaignHealthReport.from_dict(
+                payload.get("health", {"events": []})  # type: ignore[arg-type]
+            )
+            probe_health.events.extend(probe_fallbacks)
+        if spec is not None:
+            kwargs.setdefault("engine", spec.engine)
+            kwargs.setdefault("shard_size", spec.shard_size)
+            kwargs.setdefault("seed", spec.pipeline_seed)
+        campaign = cls(
+            population,
+            library,
+            spec=spec,
+            checkpoint_store=store,
+            health=probe_health,
+            **kwargs,
+        )
+        campaign._restore(payload)
+        return campaign
+
+    def _restore(self, payload: Dict[str, object]) -> None:
+        faulty_count = len(self.population.faulty)
+        cursor = payload.get("cursor")
+        draws = payload.get("draws")
+        if (
+            not isinstance(cursor, int)
+            or not isinstance(draws, int)
+            or not 0 <= cursor <= faulty_count
+            or draws < 0
+        ):
+            raise ConfigurationError(
+                f"checkpoint cursor/draws {cursor!r}/{draws!r} do not fit a "
+                f"population of {faulty_count} faulty CPUs"
+            )
+        if payload.get("population_total") != self.population.total:
+            raise ConfigurationError(
+                "checkpoint was written for a different population "
+                f"({payload.get('population_total')!r} processors, have "
+                f"{self.population.total})"
+            )
+        self._cursor = cursor
+        self._stream.reset_to(draws)
+        self.result.detections = [
+            _detection_from_row(row) for row in payload.get("detections", [])
+        ]
+        self.result.undetected_ids = list(payload.get("undetected", []))
+        self.health.record(
+            KIND_RESUME,
+            f"resumed at cursor {cursor} ({draws} draws consumed)",
+            shard=cursor // self.shard_size,
+        )
+
+    # -- checkpointing ------------------------------------------------------
+
+    def _payload(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "cursor": self._cursor,
+            "draws": self._stream.consumed,
+            "population_total": self.population.total,
+            "arch_counts": dict(self.population.arch_counts),
+            "detections": [
+                _detection_to_row(d) for d in self.result.detections
+            ],
+            "undetected": list(self.result.undetected_ids),
+            "health": self.health.to_dict(),
+        }
+
+    def _checkpoint(self, shard: int) -> None:
+        if self.store is None:
+            return
+        self.health.record(
+            KIND_CHECKPOINT,
+            f"cursor {self._cursor}, {self._stream.consumed} draws",
+            shard=shard,
+        )
+        path = self.store.save(self._payload())
+        if self.chaos is not None:
+            self.chaos.damage_checkpoint(path, shard)
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self.population.faulty)
+
+    def _shard_result(self) -> FleetStudyResult:
+        return FleetStudyResult(
+            population_total=self.population.total,
+            arch_counts=dict(self.population.arch_counts),
+        )
+
+    def _run_shard_once(
+        self, start: int, stop: int, engine: str
+    ) -> FleetStudyResult:
+        shard_result = self._shard_result()
+        if engine == "vectorized":
+            self._vectorized.run_range(start, stop, shard_result)
+        else:
+            self._scalar.run_range(start, stop, shard_result)
+        return shard_result
+
+    def _execute_shard(self, start: int, stop: int, shard: int) -> FleetStudyResult:
+        """One shard through the retry/degradation ladder.
+
+        Any attempt starts by repositioning the stream at the shard's
+        draw offset, so retries and engine switches replay the exact
+        draw sequence an uninterrupted run would have consumed.
+        """
+        draws_at_start = self._stream.consumed
+        engine = self.engine
+        attempt = 0
+        while True:
+            self._stream.reset_to(draws_at_start)
+            try:
+                if self.chaos is not None:
+                    self.chaos.on_shard_start(shard)
+                shard_result = self._run_shard_once(start, stop, engine)
+                if engine == "vectorized":
+                    self._self_check_parity(
+                        start, stop, shard, draws_at_start, shard_result
+                    )
+                return shard_result
+            except ParityDegradedError as error:
+                # Ground truth is the scalar engine; degrade this shard.
+                self.health.record(
+                    KIND_DEGRADATION,
+                    f"vectorized -> scalar: {error}",
+                    shard=shard,
+                )
+                engine = "scalar"
+            except TransientWorkerError as error:
+                attempt += 1
+                if attempt > self.max_shard_retries:
+                    raise CampaignAbortedError(
+                        f"shard {shard} failed {attempt} times; giving up: "
+                        f"{error}"
+                    ) from error
+                delay = self.retry_backoff.delay_s(attempt, f"shard-{shard}")
+                self.health.record(
+                    KIND_RETRY,
+                    f"attempt {attempt} after {error} (backoff {delay:.3f}s)",
+                    shard=shard,
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
+
+    def _self_check_parity(
+        self,
+        start: int,
+        stop: int,
+        shard: int,
+        draws_at_start: int,
+        shard_result: FleetStudyResult,
+    ) -> None:
+        """Raise :class:`ParityDegradedError` when the shard's vectorized
+        output cannot be trusted (real divergence, or chaos says so)."""
+        tripped = self.chaos is not None and self.chaos.parity_trip(shard)
+        if not tripped and not self.verify_parity:
+            return
+        if not tripped:
+            self._stream.reset_to(draws_at_start)
+            reference = self._run_shard_once(start, stop, "scalar")
+            if (
+                reference.detections == shard_result.detections
+                and reference.undetected_ids == shard_result.undetected_ids
+            ):
+                return
+        raise ParityDegradedError(
+            f"parity self-check tripped on shard {shard} "
+            f"(cpus [{start}, {stop}))"
+        )
+
+    def run(self) -> FleetStudyResult:
+        """Run to completion, checkpointing; returns the study result.
+
+        Injected kills propagate as :class:`InjectedKillError` — the
+        :func:`run_resilient_campaign` driver (or an operator running
+        ``repro resume``) restarts from the last good snapshot.
+        """
+        faulty_count = len(self.population.faulty)
+        while self._cursor < faulty_count:
+            start = self._cursor
+            stop = min(start + self.shard_size, faulty_count)
+            shard = start // self.shard_size
+            shard_result = self._execute_shard(start, stop, shard)
+            self.result.detections.extend(shard_result.detections)
+            self.result.undetected_ids.extend(shard_result.undetected_ids)
+            self._cursor = stop
+            self._shards_since_checkpoint += 1
+            if (
+                self._shards_since_checkpoint >= self.checkpoint_every
+                or self._cursor >= faulty_count
+            ):
+                self._checkpoint(shard)
+                self._shards_since_checkpoint = 0
+            if self.chaos is not None:
+                self.chaos.kill_after_shard(shard)
+        return self.result
+
+
+def run_resilient_campaign(
+    library: TestcaseLibrary,
+    *,
+    spec: Optional[CampaignSpec] = None,
+    population: Optional[FleetPopulation] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    chaos: Optional[ChaosInjector] = None,
+    health: Optional[CampaignHealthReport] = None,
+    max_restarts: int = 8,
+    **campaign_kwargs,
+) -> Tuple[FleetStudyResult, CampaignHealthReport]:
+    """Supervisor driver: run a campaign, restarting across kills.
+
+    Mirrors the production deployment shape — a daemon that respawns a
+    crashed scanner and points it at the newest snapshot.  Needs either
+    ``spec`` (population regenerated deterministically) or an explicit
+    ``population``.
+    """
+    if spec is None and population is None:
+        raise ConfigurationError(
+            "run_resilient_campaign needs spec= or population="
+        )
+    health = health if health is not None else CampaignHealthReport()
+    if population is None:
+        population = spec.build_population()
+    restarts = 0
+    while True:
+        if checkpoint_store is not None and checkpoint_store.load_latest() is not None:
+            campaign = ResilientCampaign.resume(
+                checkpoint_store,
+                library,
+                population=population,
+                spec=spec,
+                health=health,
+                chaos=chaos,
+                **campaign_kwargs,
+            )
+        else:
+            kwargs = dict(campaign_kwargs)
+            if spec is not None:
+                kwargs.setdefault("engine", spec.engine)
+                kwargs.setdefault("shard_size", spec.shard_size)
+                kwargs.setdefault("seed", spec.pipeline_seed)
+            campaign = ResilientCampaign(
+                population,
+                library,
+                spec=spec,
+                checkpoint_store=checkpoint_store,
+                health=health,
+                chaos=chaos,
+                **kwargs,
+            )
+        try:
+            return campaign.run(), health
+        except InjectedKillError as error:
+            restarts += 1
+            if restarts > max_restarts:
+                raise CampaignAbortedError(
+                    f"campaign killed {restarts} times; giving up"
+                ) from error
+            if checkpoint_store is None:
+                raise CampaignAbortedError(
+                    "campaign killed with no checkpoint store to resume from"
+                ) from error

@@ -1,0 +1,196 @@
+"""Versioned, self-checking campaign checkpoints.
+
+A month-scale campaign must survive the process that runs it.  The
+snapshot format here is deliberately boring and auditable:
+
+* **JSON payload** — every value the campaign needs to continue
+  (cursor, draw-stream position, partial detections) round-trips
+  exactly: CPython's ``repr`` serialization of floats is shortest
+  round-trip, so ``Detection.day`` survives bit-for-bit.
+* **CRC self-check** — the payload's canonical encoding is CRC-32
+  checksummed; a torn write, truncation, or flipped byte surfaces as
+  :class:`~repro.errors.CheckpointCorruptError` instead of silently
+  corrupting the aggregate result.
+* **Atomic write** — snapshots are written to a temp file, fsynced, and
+  ``os.replace``-d into place, so a crash mid-write leaves the previous
+  snapshot intact.
+* **Rotation** — :class:`CheckpointStore` keeps the last few snapshots;
+  the loader falls back to the newest one that passes its self-check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+)
+from .health import KIND_CHECKPOINT_FALLBACK, CampaignHealthReport
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "write_checkpoint",
+    "read_checkpoint",
+    "CheckpointStore",
+]
+
+CHECKPOINT_FORMAT = "repro-campaign-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def _canonical(payload: Dict[str, object]) -> bytes:
+    """Canonical payload bytes: the CRC domain.
+
+    ``sort_keys`` + tight separators make the encoding independent of
+    dict insertion order, and JSON's repr-based float encoding makes it
+    independent of everything else.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def write_checkpoint(path: os.PathLike, payload: Dict[str, object]) -> None:
+    """Atomically write ``payload`` as a self-checking snapshot."""
+    path = Path(path)
+    body = _canonical(payload)
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "crc32": zlib.crc32(body),
+        "payload": payload,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, allow_nan=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as error:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {path}: {error}") from error
+
+
+def read_checkpoint(path: os.PathLike) -> Dict[str, object]:
+    """Read and verify one snapshot, returning its payload.
+
+    Raises :class:`CheckpointCorruptError` for anything that fails the
+    structure or CRC self-check and :class:`CheckpointVersionError` for
+    snapshots from an incompatible format version.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        # Bit rot can break the UTF-8 encoding itself, not just the
+        # JSON structure; both read as corruption, not as a crash.
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is not valid JSON (torn write?): {error}"
+        ) from error
+    if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} lacks the {CHECKPOINT_FORMAT!r} header"
+        )
+    version = document.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(
+            f"checkpoint {path} has format version {version!r}; this build "
+            f"reads version {CHECKPOINT_VERSION}"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(f"checkpoint {path} has no payload object")
+    crc = zlib.crc32(_canonical(payload))
+    if crc != document.get("crc32"):
+        raise CheckpointCorruptError(
+            f"checkpoint {path} failed its CRC self-check "
+            f"(stored {document.get('crc32')!r}, computed {crc})"
+        )
+    return payload
+
+
+class CheckpointStore:
+    """A rotating directory of numbered snapshots.
+
+    ``campaign-000001.ckpt``, ``campaign-000002.ckpt``, … — newest wins,
+    the loader falls back across corrupt snapshots, and old snapshots
+    beyond ``keep`` are pruned after each successful save.
+    """
+
+    _PREFIX = "campaign-"
+    _SUFFIX = ".ckpt"
+
+    def __init__(self, directory: os.PathLike, keep: int = 2):
+        if keep < 1:
+            raise CheckpointError("CheckpointStore must keep at least 1 snapshot")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def paths(self) -> List[Path]:
+        """Existing snapshot paths, oldest first."""
+        entries = [
+            path
+            for path in self.directory.glob(f"{self._PREFIX}*{self._SUFFIX}")
+            if path.is_file()
+        ]
+        return sorted(entries, key=lambda path: path.name)
+
+    def _next_path(self) -> Path:
+        existing = self.paths()
+        if existing:
+            last = existing[-1].name[len(self._PREFIX):-len(self._SUFFIX)]
+            try:
+                index = int(last) + 1
+            except ValueError:
+                index = len(existing) + 1
+        else:
+            index = 1
+        return self.directory / f"{self._PREFIX}{index:06d}{self._SUFFIX}"
+
+    def save(self, payload: Dict[str, object]) -> Path:
+        path = self._next_path()
+        write_checkpoint(path, payload)
+        for stale in self.paths()[:-self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        return path
+
+    def load_latest(
+        self, health: Optional[CampaignHealthReport] = None
+    ) -> Optional[Dict[str, object]]:
+        """Payload of the newest snapshot that passes its self-check.
+
+        Corrupt snapshots are skipped (recorded into ``health``), which
+        is what makes a torn final write survivable: the previous
+        rotation still restores the campaign, at the cost of redoing
+        one checkpoint interval of work.  Returns None when no usable
+        snapshot exists.
+        """
+        for path in reversed(self.paths()):
+            try:
+                return read_checkpoint(path)
+            except (CheckpointCorruptError, CheckpointVersionError) as error:
+                if health is not None:
+                    health.record(
+                        KIND_CHECKPOINT_FALLBACK,
+                        f"skipped {path.name}: {error}",
+                    )
+        return None

@@ -1,0 +1,128 @@
+"""Structured campaign health accounting.
+
+Production fleet scanners (Meta's at-scale SDC screens, Google's
+SiliFuzz) treat the test infrastructure itself as unreliable: hosts
+flake, scanners crash, runs resume.  What keeps partial results
+trustworthy is a structured audit trail — every fault seen, every retry
+taken, every degradation of the execution strategy — attached to the
+campaign result instead of scattered through logs.
+
+:class:`CampaignHealthReport` is that trail.  The resilient campaign
+layer, the supervised parallel map, and the chaos suite all append
+:class:`HealthEvent` records to one report; it serializes into the
+checkpoint payload so a resumed run keeps the full history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["HealthEvent", "CampaignHealthReport"]
+
+
+#: Event kinds recorded by the resilience layer.  Kept as plain strings
+#: (not an enum) so new layers can record domain-specific kinds without
+#: touching this module; these are the ones the core layer emits.
+KIND_FAULT = "fault"  #: a fault was observed or injected
+KIND_RETRY = "retry"  #: a shard/worker item was retried
+KIND_DEGRADATION = "degradation"  #: execution strategy was lowered
+KIND_CHECKPOINT = "checkpoint"  #: a snapshot was written
+KIND_CHECKPOINT_FALLBACK = "checkpoint_fallback"  #: a corrupt snapshot was skipped
+KIND_RESUME = "resume"  #: a campaign continued from a snapshot
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One resilience-relevant occurrence during a campaign."""
+
+    kind: str
+    detail: str
+    #: Shard index for campaign events, item index for worker events.
+    shard: Optional[int] = None
+    item: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "shard": self.shard,
+            "item": self.item,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HealthEvent":
+        return cls(
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+            shard=data.get("shard"),  # type: ignore[arg-type]
+            item=data.get("item"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class CampaignHealthReport:
+    """Everything that went wrong — and what was done about it."""
+
+    events: List[HealthEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        detail: str,
+        *,
+        shard: Optional[int] = None,
+        item: Optional[int] = None,
+    ) -> HealthEvent:
+        event = HealthEvent(kind=kind, detail=detail, shard=shard, item=item)
+        self.events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def of_kind(self, kind: str) -> List[HealthEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    @property
+    def faults(self) -> int:
+        return self.count(KIND_FAULT)
+
+    @property
+    def retries(self) -> int:
+        return self.count(KIND_RETRY)
+
+    @property
+    def degradations(self) -> int:
+        return self.count(KIND_DEGRADATION)
+
+    @property
+    def checkpoints_written(self) -> int:
+        return self.count(KIND_CHECKPOINT)
+
+    @property
+    def resumes(self) -> int:
+        return self.count(KIND_RESUME)
+
+    def summary(self) -> str:
+        """One human line per counter, for CLI output."""
+        return (
+            f"faults={self.faults} retries={self.retries} "
+            f"degradations={self.degradations} "
+            f"checkpoints={self.checkpoints_written} resumes={self.resumes}"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignHealthReport":
+        events = [
+            HealthEvent.from_dict(item)  # type: ignore[arg-type]
+            for item in data.get("events", [])  # type: ignore[union-attr]
+        ]
+        return cls(events=events)

@@ -20,7 +20,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["substream", "derive_seed", "stream_family"]
+__all__ = ["substream", "derive_seed", "stream_family", "CountedStream"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -49,6 +49,96 @@ def substream(seed: int, *names: str) -> np.random.Generator:
     True
     """
     return np.random.default_rng(derive_seed(seed, *names))
+
+
+class CountedStream:
+    """A uniform-[0,1) draw stream with an exact, restorable position.
+
+    Campaign checkpointing needs to record *where* in a substream a run
+    stopped so a resumed process continues bit-identically.  PCG64
+    cannot be rewound, but ``Generator.random(n)`` emits the identical
+    double sequence as ``n`` scalar ``random()`` calls, so a position
+    is fully described by the draw *count*: a fresh generator
+    fast-forwarded by ``consumed`` draws is indistinguishable from the
+    original.  Draws are block-buffered for speed; the buffer never
+    affects the delivered sequence, only how far ahead the underlying
+    generator has run.
+    """
+
+    __slots__ = ("_seed", "_names", "_block", "_rng", "_buffer", "_cursor",
+                 "_consumed")
+
+    def __init__(self, seed: int, *names: str, block: int = 1 << 15):
+        if block <= 0:
+            raise ValueError("block must be positive")
+        self._seed = int(seed)
+        self._names = names
+        self._block = block
+        self._rng = substream(seed, *names)
+        self._buffer: list = []
+        self._cursor = 0
+        self._consumed = 0
+
+    @property
+    def consumed(self) -> int:
+        """Number of doubles delivered (or skipped) so far."""
+        return self._consumed
+
+    def _refill(self) -> None:
+        self._buffer = self._rng.random(self._block).tolist()
+        self._cursor = 0
+
+    def draw(self) -> float:
+        if self._cursor >= len(self._buffer):
+            self._refill()
+        value = self._buffer[self._cursor]
+        self._cursor += 1
+        self._consumed += 1
+        return value
+
+    def draw_many(self, count: int) -> list:
+        """The next ``count`` doubles of the stream, in order."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        available = len(self._buffer) - self._cursor
+        if count > available:
+            self._buffer = self._buffer[self._cursor:] + self._rng.random(
+                max(self._block, count - available)
+            ).tolist()
+            self._cursor = 0
+        block = self._buffer[self._cursor:self._cursor + count]
+        self._cursor += count
+        self._consumed += count
+        return block
+
+    def fast_forward(self, count: int) -> None:
+        """Discard the next ``count`` doubles (checkpoint restore)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        while count > 0:
+            if self._cursor >= len(self._buffer):
+                self._refill()
+            step = min(count, len(self._buffer) - self._cursor)
+            self._cursor += step
+            self._consumed += step
+            count -= step
+
+    def reset_to(self, position: int) -> None:
+        """Reposition the stream at an absolute draw count.
+
+        Rewinding rebuilds the generator from its seed path and replays
+        forward, so any position — earlier or later — is reachable.
+        """
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        if position >= self._consumed:
+            self.fast_forward(position - self._consumed)
+            return
+        self._rng = substream(self._seed, *self._names)
+        self._buffer = []
+        self._cursor = 0
+        self._consumed = 0
+        self.fast_forward(position)
 
 
 def stream_family(seed: int, prefix: str) -> Iterator[np.random.Generator]:

@@ -19,6 +19,7 @@ throttled at a realistic ceiling.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -204,8 +205,16 @@ class ToolchainRunner:
         The thermal state persists on the runner across calls, so
         consecutive testcases see each other's remaining heat.
         """
-        if duration_s <= 0:
-            raise ConfigurationError("duration_s must be positive")
+        if not math.isfinite(duration_s) or duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be positive and finite, got {duration_s!r}"
+            )
+        if not math.isfinite(dt_s) or dt_s <= 0:
+            # dt_s == 0 would make the thermal loop below spin forever
+            # without advancing elapsed time.
+            raise ConfigurationError(
+                f"dt_s must be a positive finite step in seconds, got {dt_s!r}"
+            )
         if cores is None:
             cores = [c.pcore_id for c in self.processor.available_cores()]
         else:

@@ -1,0 +1,131 @@
+"""Chaos tests for the supervised ``deterministic_map``.
+
+Worker processes flake, die, and stall; the supervisor must retry,
+degrade to serial, and above all return exactly what a plain serial map
+would have returned.
+"""
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ExponentialBackoff
+from repro.errors import TransientWorkerError
+from repro.perf.parallel import deterministic_map
+from repro.resilience import CampaignHealthReport
+
+NO_WAIT = ExponentialBackoff(base_s=0.0, cap_s=0.0, jitter=0.0)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _chaos_task(task):
+    """Task payloads: ``(kind, value, arg)``.
+
+    ``boom`` always fails; ``flaky`` fails twice then succeeds (counted
+    through a file so the count survives process boundaries); ``kill``
+    and ``stall`` only misbehave inside a worker process, so the
+    degraded serial re-run in the parent succeeds.
+    """
+    kind, value, arg = task
+    if kind == "boom":
+        raise ValueError(f"boom on {value}")
+    if kind == "flaky":
+        counter = Path(arg) / f"flaky-{value}.count"
+        failures = int(counter.read_text()) if counter.exists() else 0
+        if failures < 2:
+            counter.write_text(str(failures + 1))
+            raise ValueError(f"flaky {value}, failure {failures + 1}")
+    if kind == "kill" and _in_worker():
+        os._exit(1)
+    if kind == "stall" and _in_worker():
+        time.sleep(5.0)
+    return value * 10
+
+
+def _ok_tasks(n):
+    return [("ok", i, None) for i in range(n)]
+
+
+def test_worker_exception_is_wrapped_with_item_context():
+    tasks = _ok_tasks(6)
+    tasks[3] = ("boom", 3, None)
+    health = CampaignHealthReport()
+    with pytest.raises(TransientWorkerError) as exc_info:
+        deterministic_map(
+            _chaos_task, tasks, workers=2, chunksize=2,
+            backoff=NO_WAIT, health=health,
+        )
+    error = exc_info.value
+    assert error.item_index == 3
+    assert "boom" in error.item_repr
+    assert error.attempts == 1
+    assert health.faults >= 1
+
+
+def test_serial_path_wraps_exceptions_too():
+    with pytest.raises(TransientWorkerError) as exc_info:
+        deterministic_map(_chaos_task, [("boom", 0, None)], workers=1)
+    assert exc_info.value.item_index == 0
+
+
+def test_flaky_item_recovers_within_retry_budget(tmp_path):
+    tasks = _ok_tasks(6)
+    tasks[2] = ("flaky", 2, str(tmp_path))
+    health = CampaignHealthReport()
+    results = deterministic_map(
+        _chaos_task, tasks, workers=2, chunksize=2,
+        retries=2, backoff=NO_WAIT, health=health,
+    )
+    assert results == [i * 10 for i in range(6)]
+    assert health.retries >= 1
+    assert health.faults >= 1
+
+
+def test_flaky_item_exhausts_budget(tmp_path):
+    tasks = [("flaky", 9, str(tmp_path))]
+    with pytest.raises(TransientWorkerError) as exc_info:
+        deterministic_map(
+            _chaos_task, tasks, workers=1, retries=1, backoff=NO_WAIT,
+        )
+    assert exc_info.value.attempts == 2
+
+
+def test_killed_worker_degrades_to_serial():
+    tasks = _ok_tasks(8)
+    tasks[5] = ("kill", 5, None)
+    health = CampaignHealthReport()
+    results = deterministic_map(
+        _chaos_task, tasks, workers=2, chunksize=2,
+        backoff=NO_WAIT, health=health,
+    )
+    # The parent-side re-run does not kill, so every item completes and
+    # order is preserved despite the mid-flight degradation.
+    assert results == [i * 10 for i in range(8)]
+    assert health.degradations >= 1
+    assert any("pool" in event.detail for event in health.of_kind("fault"))
+
+
+def test_stalled_worker_times_out_and_degrades():
+    tasks = _ok_tasks(8)
+    tasks[4] = ("stall", 4, None)
+    health = CampaignHealthReport()
+    results = deterministic_map(
+        _chaos_task, tasks, workers=2, chunksize=2,
+        timeout_s=0.25, backoff=NO_WAIT, health=health,
+    )
+    assert results == [i * 10 for i in range(8)]
+    assert health.degradations >= 1
+    assert any("timeout" in event.detail for event in health.of_kind("fault"))
+
+
+def test_supervision_params_validated():
+    with pytest.raises(ValueError, match="retries"):
+        deterministic_map(_chaos_task, _ok_tasks(3), retries=-1)
+    with pytest.raises(ValueError, match="timeout_s"):
+        deterministic_map(_chaos_task, _ok_tasks(3), timeout_s=0.0)

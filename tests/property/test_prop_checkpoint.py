@@ -1,0 +1,105 @@
+"""Property: checkpoint round-trips are bit-identical at any boundary.
+
+A campaign killed after an arbitrary shard and resumed from its snapshot
+must finish with exactly the result of an uninterrupted run — including
+the restored position of the pipeline's counted RNG stream.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExponentialBackoff
+from repro.fleet import FleetSpec, TestPipeline, generate_fleet
+from repro.resilience import (
+    ChaosInjector,
+    CheckpointStore,
+    ResilientCampaign,
+    run_resilient_campaign,
+)
+
+TOTAL = 1_500
+FLEET_SEED = 3
+PIPELINE_SEED = 11
+SHARD_SIZE = 8
+NO_WAIT = ExponentialBackoff(base_s=0.0, cap_s=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(
+        FleetSpec(
+            total_processors=TOTAL, seed=FLEET_SEED, failure_rate_scale=150.0
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(fleet, library):
+    pipeline = TestPipeline(fleet, library, seed=PIPELINE_SEED)
+    result = pipeline.run()
+    return result, pipeline._stream.consumed
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_kill_resume_at_random_boundary_is_bit_identical(
+    fleet, library, baseline, tmp_path_factory, data
+):
+    reference, reference_draws = baseline
+    shard_count = -(-len(fleet.faulty) // SHARD_SIZE)
+    kill_shard = data.draw(
+        st.integers(min_value=0, max_value=shard_count - 1), label="kill_shard"
+    )
+    store = CheckpointStore(tmp_path_factory.mktemp("ckpt"))
+    result, health = run_resilient_campaign(
+        library,
+        population=fleet,
+        checkpoint_store=store,
+        chaos=ChaosInjector({kill_shard: ["kill"]}),
+        seed=PIPELINE_SEED,
+        shard_size=SHARD_SIZE,
+        checkpoint_every=1,
+        retry_backoff=NO_WAIT,
+    )
+    assert result.detections == reference.detections
+    assert result.undetected_ids == reference.undetected_ids
+    assert health.resumes == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_snapshot_restores_exact_rng_position(
+    fleet, library, baseline, tmp_path_factory, data
+):
+    """Stopping after shard k and resuming must put the stream at the
+    exact draw count the uninterrupted run had at that boundary."""
+    reference, reference_draws = baseline
+    shard_count = -(-len(fleet.faulty) // SHARD_SIZE)
+    stop_shard = data.draw(
+        st.integers(min_value=0, max_value=shard_count - 1), label="stop_shard"
+    )
+    store = CheckpointStore(tmp_path_factory.mktemp("ckpt"))
+    first = ResilientCampaign(
+        fleet, library, seed=PIPELINE_SEED, shard_size=SHARD_SIZE,
+        checkpoint_store=store, checkpoint_every=1,
+        chaos=ChaosInjector({stop_shard: ["kill"]}),
+        retry_backoff=NO_WAIT,
+    )
+    from repro.resilience import InjectedKillError
+
+    with pytest.raises(InjectedKillError):
+        first.run()
+    draws_at_kill = first._stream.consumed
+    cursor_at_kill = first.cursor
+
+    resumed = ResilientCampaign.resume(
+        store, library, population=fleet,
+        seed=PIPELINE_SEED, shard_size=SHARD_SIZE, retry_backoff=NO_WAIT,
+    )
+    assert resumed.cursor == cursor_at_kill
+    assert resumed._stream.consumed == draws_at_kill
+    final = resumed.run()
+    assert final.detections == reference.detections
+    assert final.undetected_ids == reference.undetected_ids
+    assert resumed._stream.consumed == reference_draws
