@@ -11,6 +11,7 @@ temperature, run the failed testcase repeatedly, count errors/minute.
 """
 
 from repro.analysis import render_table, temperature_sweep
+from repro.perf.parallel import deterministic_map
 from repro.testing import ToolchainRunner
 
 from conftest import run_once
@@ -34,30 +35,46 @@ def _loop_for(library, mnemonic):
     )
 
 
+def _run_sweep(task):
+    """One Figure-8 sweep, self-contained so any worker can run it.
+
+    Rebuilding the catalog and library inside the task makes the result
+    identical whether deterministic_map runs it in a pool worker or
+    falls back to in-process serial execution (single-CPU machines,
+    degraded pools).
+    """
+    cpu, mnemonic = task
+    from repro.cpu import full_catalog
+    from repro.testing import build_library
+
+    catalog = full_catalog()
+    library = build_library()
+    runner = ToolchainRunner(catalog[cpu])
+    defect = catalog[cpu].defects[0]
+    pcore = max(defect.core_ids, key=lambda c: defect.core_multiplier(c))
+    testcase = _loop_for(library, mnemonic)
+    # Sweep the pre-saturation ramp just above the setting's minimum
+    # triggering temperature — the region where the paper could collect
+    # data (frequencies plateau above it).
+    behaviour = runner.trigger.behaviour(defect, testcase.testcase_id)
+    low = behaviour.tmin_c + 0.5
+    high = behaviour.tmin_c + runner.trigger.ramp_cap_c - 0.5
+    temps = [low + i * (high - low) / 7.0 for i in range(8)]
+    sweep = temperature_sweep(
+        runner, testcase, temps, duration_s=2400.0, pcore_id=pcore
+    )
+    return sweep, sweep.fit()
+
+
 def test_fig8_frequency_vs_temperature(benchmark, catalog, library):
     def measure():
-        fits = {}
-        for cpu, mnemonic, paper_r in SWEEPS:
-            runner = ToolchainRunner(catalog[cpu])
-            defect = catalog[cpu].defects[0]
-            pcore = max(
-                defect.core_ids, key=lambda c: defect.core_multiplier(c)
-            )
-            testcase = _loop_for(library, mnemonic)
-            # Sweep the pre-saturation ramp just above the setting's
-            # minimum triggering temperature — the region where the
-            # paper could collect data (frequencies plateau above it).
-            behaviour = runner.trigger.behaviour(
-                catalog[cpu].defects[0], testcase.testcase_id
-            )
-            low = behaviour.tmin_c + 0.5
-            high = behaviour.tmin_c + runner.trigger.ramp_cap_c - 0.5
-            temps = [low + i * (high - low) / 7.0 for i in range(8)]
-            sweep = temperature_sweep(
-                runner, testcase, temps, duration_s=2400.0, pcore_id=pcore
-            )
-            fits[cpu] = (sweep, sweep.fit(), paper_r)
-        return fits
+        results = deterministic_map(
+            _run_sweep, [(cpu, mnemonic) for cpu, mnemonic, _ in SWEEPS]
+        )
+        return {
+            cpu: (sweep, fit, paper_r)
+            for (cpu, _, paper_r), (sweep, fit) in zip(SWEEPS, results)
+        }
 
     fits = run_once(benchmark, measure)
 

@@ -1,11 +1,20 @@
-"""Timing benchmark: scalar vs vectorized fleet campaign.
+"""Timing benchmark: scalar vs vectorized vs parallel fleet campaign.
 
 Runs the same seeded staged test campaign through the scalar
-``TestPipeline`` and the batch ``VectorizedTestPipeline``, asserts the
-two produce *identical* detections (same processors, stages, days, and
-failing-testcase sets, in the same order), and records the wall-clock
-comparison in ``BENCH_fleet.json`` at the repository root so the perf
-trajectory is tracked across PRs.
+``TestPipeline``, the batch ``VectorizedTestPipeline``, and the
+multi-process ``ParallelTestPipeline``; asserts all engines produce
+*identical* detections (same processors, stages, days, and
+failing-testcase sets, in the same order) and that the parallel engine
+finishes at the exact serial stream position; and records the
+wall-clock comparisons in ``BENCH_fleet.json`` and
+``BENCH_parallel.json`` at the repository root so the perf trajectory
+is tracked across PRs.
+
+Parity is enforced unconditionally.  The parallel *speedup* gate
+(``--min-parallel-speedup``) only makes sense on real cores, so it is
+applied when the machine exposes at least 4 effective CPUs (scheduler
+affinity); on smaller machines the measured numbers are still recorded
+honestly, they just don't fail the run.
 
 The default configuration is a 100k-processor fleet densified with
 ``failure_rate_scale`` so the campaign actually exercises thousands of
@@ -30,10 +39,12 @@ import numpy as np
 from repro.faults.trigger import TriggerModel
 from repro.fleet import (
     FleetSpec,
+    ParallelTestPipeline,
     TestPipeline,
     VectorizedTestPipeline,
     generate_fleet,
 )
+from repro.perf.parallel import default_workers
 from repro.testing import build_library
 
 
@@ -77,20 +88,50 @@ def run(args: argparse.Namespace) -> dict:
         start = time.perf_counter()
         vectorized_result = engine.run()
         vectorized_s = min(vectorized_s, time.perf_counter() - start)
+        serial_position = engine._scalar._stream.consumed
+
+    workers = (
+        args.workers if args.workers is not None else default_workers()
+    )
+    parallel_position = None
+    parallel_s = float("inf")
+    parallel_result = None
+    for _ in range(args.repeats):
+        with ParallelTestPipeline(
+            fleet, library, trigger_model=TriggerModel(), seed=args.seed,
+            workers=workers,
+        ) as engine:
+            start = time.perf_counter()
+            parallel_result = engine.run()
+            parallel_s = min(parallel_s, time.perf_counter() - start)
+            parallel_position = engine._scalar._stream.consumed
 
     scalar_keys = [_detection_key(d) for d in scalar_result.detections]
     vector_keys = [_detection_key(d) for d in vectorized_result.detections]
     assert scalar_keys == vector_keys, "vectorized detections diverged"
     assert scalar_result.undetected_ids == vectorized_result.undetected_ids
+    parallel_keys = [_detection_key(d) for d in parallel_result.detections]
+    assert scalar_keys == parallel_keys, "parallel detections diverged"
+    assert scalar_result.undetected_ids == parallel_result.undetected_ids
+    assert parallel_position == serial_position, (
+        "parallel engine must finish at the exact serial stream position"
+    )
 
-    return {
+    fleet_info = {
+        "total_processors": spec.total_processors,
+        "failure_rate_scale": spec.failure_rate_scale,
+        "seed": spec.seed,
+        "faulty": len(fleet.faulty),
+    }
+    environment = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "effective_cores": default_workers(),
+    }
+    fleet_report = {
         "benchmark": "bench_perf_fleet",
-        "fleet": {
-            "total_processors": spec.total_processors,
-            "failure_rate_scale": spec.failure_rate_scale,
-            "seed": spec.seed,
-            "faulty": len(fleet.faulty),
-        },
+        "fleet": fleet_info,
         "pipeline_seed": args.seed,
         "repeats": args.repeats,
         "scalar_s": round(scalar_s, 4),
@@ -98,12 +139,23 @@ def run(args: argparse.Namespace) -> dict:
         "speedup": round(scalar_s / vectorized_s, 2),
         "detections": len(scalar_keys),
         "parity": "exact",
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment,
     }
+    parallel_report = {
+        "benchmark": "bench_parallel_fleet",
+        "fleet": fleet_info,
+        "pipeline_seed": args.seed,
+        "repeats": args.repeats,
+        "workers": workers,
+        "serial_vectorized_s": round(vectorized_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_speedup": round(vectorized_s / parallel_s, 2),
+        "detections": len(scalar_keys),
+        "parity": "exact",
+        "stream_position": serial_position,
+        "environment": environment,
+    }
+    return fleet_report, parallel_report
 
 
 def main(argv=None) -> int:
@@ -119,23 +171,60 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=11, help="pipeline seed")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel engine worker count (default: effective CPUs)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup", type=float, default=0.0,
+        help="fail unless parallel speedup reaches this (only enforced "
+             "on machines with >= 4 effective cores; parity is always "
+             "enforced)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_fleet.json",
+    )
+    parser.add_argument(
+        "--parallel-out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_parallel.json",
     )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    report = run(args)
+    report, parallel_report = run(args)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+    args.parallel_out.write_text(
+        json.dumps(parallel_report, indent=2) + "\n"
+    )
     print(
         f"scalar {report['scalar_s']:.3f}s  "
         f"vectorized {report['vectorized_s']:.3f}s  "
         f"speedup {report['speedup']:.1f}x  "
         f"({report['detections']} detections, parity exact)"
     )
-    print(f"wrote {args.out}")
+    print(
+        f"parallel x{parallel_report['workers']} "
+        f"{parallel_report['parallel_s']:.3f}s  "
+        f"speedup over serial vectorized "
+        f"{parallel_report['parallel_speedup']:.2f}x  "
+        f"({parallel_report['environment']['effective_cores']} effective "
+        f"cores, parity exact)"
+    )
+    print(f"wrote {args.out} and {args.parallel_out}")
+    cores = parallel_report["environment"]["effective_cores"]
+    if args.min_parallel_speedup > 0.0 and cores >= 4:
+        if parallel_report["parallel_speedup"] < args.min_parallel_speedup:
+            print(
+                f"FAIL: parallel speedup "
+                f"{parallel_report['parallel_speedup']:.2f}x below gate "
+                f"{args.min_parallel_speedup:.2f}x on {cores} cores",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -42,8 +42,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--seed", type=int, default=1)
     fleet.add_argument(
-        "--engine", choices=("scalar", "vectorized"), default="vectorized",
-        help="campaign engine (vectorized is bit-identical and ~100x faster)",
+        "--engine", choices=("scalar", "vectorized", "parallel"),
+        default="vectorized",
+        help="campaign engine; all three are bit-identical (vectorized is "
+             "~100x scalar, parallel shards it over --workers processes)",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --engine parallel "
+             "(default: usable CPUs per scheduler affinity)",
     )
     fleet.add_argument(
         "--checkpoint-dir", default=None,
@@ -91,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint_dir",
         help="directory previously passed to fleet-study --checkpoint-dir",
     )
+    resume.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes when the checkpointed engine is parallel "
+             "(default: usable CPUs per scheduler affinity)",
+    )
     return parser
 
 
@@ -135,6 +147,7 @@ def _cmd_fleet_study(args) -> int:
         spec, build_library(),
         checkpoint_store=store,
         checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
     )
     result = campaign.run()
     _print_fleet_tables(result)
@@ -153,7 +166,9 @@ def _cmd_resume(args) -> int:
 
     store = CheckpointStore(args.checkpoint_dir)
     try:
-        campaign = ResilientCampaign.resume(store, build_library())
+        campaign = ResilientCampaign.resume(
+            store, build_library(), workers=args.workers
+        )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -22,6 +22,7 @@ from .evaluation import (
     overhead_experiment,
     simulate_online,
 )
+from .batch_online import simulate_online_batch
 
 __all__ = [
     "AdaptiveTemperatureBoundary",
@@ -50,4 +51,5 @@ __all__ = [
     "coverage_sweep",
     "overhead_experiment",
     "simulate_online",
+    "simulate_online_batch",
 ]

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
-from ..perf.parallel import deterministic_map
 from ..rng import derive_seed, substream
 from ..cpu.features import Feature
 from ..cpu.processor import Processor
@@ -221,6 +220,11 @@ def coverage_sweep(
         )
         for processor in processors
     ]
+    # Imported here, not at module top: repro.perf.parallel pulls in
+    # repro.core.backoff, so a top-level import would be circular when
+    # the perf layer loads first (e.g. via repro.fleet.parallel).
+    from ..perf.parallel import deterministic_map
+
     return deterministic_map(
         _coverage_sweep_task,
         tasks,

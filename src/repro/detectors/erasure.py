@@ -13,12 +13,20 @@ to construct a lost data block, causing the corruption to propagate".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from .gf256 import gf_inv, gf_matrix_invert, gf_matrix_vector
+from .gf256 import gf_dot, gf_inv, gf_matrix_invert, gf_matrix_vector
 
 __all__ = ["ReedSolomon"]
+
+#: Cauchy parity matrices keyed by ``(k, m)``.  The rows depend only on
+#: the code geometry, yet encode()/reconstruct() need them per call and
+#: the detector experiments construct thousands of short-shard codes —
+#: rebuilding the matrix (m*k field inversions) dominated encode time
+#: for small shards.  Entries are immutable in spirit: cached lists are
+#: shared, so callers must not mutate them.
+_PARITY_ROWS_CACHE: Dict[Tuple[int, int], List[List[int]]] = {}
 
 
 @dataclass(frozen=True)
@@ -43,10 +51,15 @@ class ReedSolomon:
         ``x_i = k + i`` and ``y_j = j`` all distinct, so every square
         submatrix is invertible.
         """
-        return [
-            [gf_inv((self.k + row) ^ col) for col in range(self.k)]
-            for row in range(self.m)
-        ]
+        key = (self.k, self.m)
+        rows = _PARITY_ROWS_CACHE.get(key)
+        if rows is None:
+            rows = [
+                [gf_inv((self.k + row) ^ col) for col in range(self.k)]
+                for row in range(self.m)
+            ]
+            _PARITY_ROWS_CACHE[key] = rows
+        return rows
 
     # -- encode ---------------------------------------------------------------
 
@@ -62,10 +75,11 @@ class ReedSolomon:
         (shard_len,) = lengths
         rows = self._parity_rows()
         parity = [bytearray(shard_len) for _ in range(self.m)]
+        dot = gf_dot
         for offset in range(shard_len):
             column = [shard[offset] for shard in data_shards]
             for row_index, row in enumerate(rows):
-                parity[row_index][offset] = gf_matrix_vector([row], column)[0]
+                parity[row_index][offset] = dot(row, column)
         return [bytes(p) for p in parity]
 
     # -- decode ---------------------------------------------------------------

@@ -26,7 +26,7 @@ from ..cpu import datatypes
 from ..cpu.features import DataType
 from ..faults.bitflip import BitflipModel, PositionBiasedBitflip
 from .crc import crc32, verify_crc32
-from .ecc import DecodeStatus, Secded64
+from .ecc import _DATA_POSITIONS, DecodeStatus, Secded64
 from .erasure import ReedSolomon
 from .prediction import RangePredictor
 
@@ -74,10 +74,11 @@ def checksum_timing_experiment(
     rng = substream(seed, "checksum-timing")
     detected_post = 0
     detected_pre = 0
+    integers = rng.integers
     for _ in range(trials):
-        payload = bytearray(rng.integers(0, 256, size=payload_len).tolist())
-        corrupt_index = int(rng.integers(payload_len))
-        corrupt_mask = 1 << int(rng.integers(8))
+        payload = bytearray(integers(0, 256, size=payload_len).tolist())
+        corrupt_index = int(integers(payload_len))
+        corrupt_mask = 1 << int(integers(8))
 
         digest = crc32(bytes(payload))
         corrupted = bytearray(payload)
@@ -121,15 +122,16 @@ def ecc_multibit_experiment(
     model = bitflip_model or PositionBiasedBitflip()
     rng = substream(seed, "ecc-multibit")
     outcomes: Dict[DecodeStatus, int] = {}
+    integers = rng.integers
+    sample_mask = model.sample_mask
+    flipped_positions = datatypes.flipped_positions
     for _ in range(trials):
-        data = int(rng.integers(0, 1 << 63)) | (int(rng.integers(0, 2)) << 63)
+        data = int(integers(0, 1 << 63)) | (int(integers(0, 2)) << 63)
         codeword = Secded64.encode(data)
-        mask64 = model.sample_mask(DataType.BIN64, rng)
+        mask64 = sample_mask(DataType.BIN64, rng)
         corrupted = codeword
-        for position in datatypes.flipped_positions(mask64):
+        for position in flipped_positions(mask64):
             # Map data-bit positions into their codeword positions.
-            from .ecc import _DATA_POSITIONS  # stable module constant
-
             corrupted ^= 1 << (_DATA_POSITIONS[position] - 1)
         result = Secded64.decode(corrupted, true_data=data)
         outcomes[result.status] = outcomes.get(result.status, 0) + 1
@@ -310,9 +312,11 @@ def prediction_experiment(
     missed = 0
     false_alarms = 0
     clean = 0
+    random = rng.random
+    observe = predictor.observe
     for index in range(stream_len):
         value = 100.0 + 10.0 * math.sin(index / 50.0)
-        corrupt = rng.random() < corruption_rate
+        corrupt = random() < corruption_rate
         if corrupt:
             bits = datatypes.encode(value, DataType.FLOAT64)
             bits ^= model.sample_mask(DataType.FLOAT64, rng)
@@ -321,7 +325,7 @@ def prediction_experiment(
         else:
             observed = value
             clean += 1
-        outcome = predictor.observe(float(observed))
+        outcome = observe(float(observed))
         if corrupt and not outcome.flagged:
             missed += 1
         if not corrupt and outcome.flagged:

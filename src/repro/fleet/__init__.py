@@ -15,6 +15,7 @@ from .pipeline import (
     StageConfig,
     TestPipeline,
 )
+from .parallel import ParallelTestPipeline
 from .salvage import SalvageReport, salvage_study
 from .vectorized import VectorizedTestPipeline
 from . import stats
@@ -35,6 +36,7 @@ __all__ = [
     "StageConfig",
     "TestPipeline",
     "VectorizedTestPipeline",
+    "ParallelTestPipeline",
     "SalvageReport",
     "salvage_study",
     "stats",

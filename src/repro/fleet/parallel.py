@@ -1,0 +1,348 @@
+"""Process-parallel sharded fleet campaign engine.
+
+:class:`ParallelTestPipeline` runs the same campaign as
+:class:`~repro.fleet.vectorized.VectorizedTestPipeline`, split into
+contiguous CPU shards dispatched across a
+:class:`~repro.perf.parallel.DeterministicPool` of worker processes.
+Detections and undetected ids are merged in shard order and the shared
+pipeline stream finishes at its exact serial position, so the output is
+**bit-identical** to the serial vectorized engine (and therefore to the
+scalar engine) for any worker count and any shard size.
+
+The obstacle to naive sharding is that the campaign's Bernoulli stream
+is consumed *data-dependently*: each CPU draws one double per eligible
+stage until its first detection, then one more per positive-expectation
+pair — so shard *k*'s starting draw position is only known after shards
+``0..k-1`` have been decided.  The engine therefore splits the work
+into what is position-free and what is not:
+
+1. **Lowering** (the dominant cost — behaviour-substream replay and the
+   per-stage expectation math) consumes *no* pipeline draws, so shards
+   lower in parallel, each worker returning its struct-of-arrays block.
+2. **Accounting scan** (cheap): as each block arrives — in shard order,
+   while later shards are still lowering — the parent walks the *real*
+   pipeline stream through the shard's draws: one ``draw()`` per
+   passing gate, one O(1) :meth:`~repro.rng.CountedStream.fast_forward`
+   over the detection's pair draws.  This pins every shard's starting
+   draw position and leaves the stream at the exact serial end
+   position (checkpoints compose unchanged).
+3. **Replay** (parallel, overlapped): the moment a shard is scanned it
+   is dispatched back to the pool with its block and start position;
+   the worker O(1)-jumps a fresh ``CountedStream(seed, "pipeline")`` to
+   that position and replays the shard into real
+   :class:`~repro.fleet.pipeline.Detection` objects.
+
+Blocks travel by value (a ~100k-CPU campaign lowers to ~1.6 MB of
+pickled block), so replay needs no worker-affinity tricks: any worker
+can replay any shard.  Any pool failure — creation, broken worker,
+worker-side exception, timeout — rewinds the stream and result to the
+call's entry state and reruns the whole range on the in-process
+vectorized engine, which is the identical-output slow path.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Tuple
+
+from ..perf.parallel import DeterministicPool, default_workers
+from ..testing.library import TestcaseLibrary
+from .pipeline import FleetStudyResult, PipelineConfig
+from .population import FleetPopulation
+from .vectorized import VectorizedTestPipeline
+
+__all__ = ["ParallelTestPipeline"]
+
+_KIND_DEGRADATION = "degradation"
+
+#: Per-worker engine, built once by the pool initializer so shard tasks
+#: carry only ``(start, stop)`` ranges instead of the population.
+_WORKER_CTX: Optional[VectorizedTestPipeline] = None
+
+
+def _worker_init(population, library, config, trigger_model, seed) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = VectorizedTestPipeline(
+        population, library, config, trigger_model, seed
+    )
+
+
+def _lower_shard(task: Tuple[int, int]):
+    """Phase 1: lower faulty CPUs ``[start, stop)`` to their block."""
+    start, stop = task
+    return _WORKER_CTX._lower_range(start, stop)
+
+
+def _replay_shard(task):
+    """Phase 3: replay one scanned shard from its pinned draw position."""
+    start, stop, position, block = task
+    engine = _WORKER_CTX
+    engine._blocks[(start, stop)] = block
+    # The worker's own pipeline stream is repositioned O(1) per task, so
+    # one stream serves every shard this worker replays.
+    stream = engine._scalar._stream
+    stream.reset_to(position)
+    shard_result = FleetStudyResult(
+        population_total=engine.population.total,
+        arch_counts=dict(engine.population.arch_counts),
+    )
+    engine.replay_range(start, stop, shard_result, stream)
+    return shard_result.detections, shard_result.undetected_ids
+
+
+class _PoolUnusable(Exception):
+    """Internal: abandon the parallel path and rerun the range serially."""
+
+
+class ParallelTestPipeline:
+    """Sharded multi-process campaign engine, bit-equal to serial."""
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(
+        self,
+        population: FleetPopulation,
+        library: TestcaseLibrary,
+        config: Optional[PipelineConfig] = None,
+        trigger_model=None,
+        seed: int = 11,
+        *,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        health=None,
+    ):
+        self._setup(
+            VectorizedTestPipeline(
+                population, library, config, trigger_model, seed
+            ),
+            workers, shard_size, timeout_s, health,
+        )
+
+    @classmethod
+    def from_vectorized(
+        cls,
+        engine: VectorizedTestPipeline,
+        *,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        health=None,
+    ) -> "ParallelTestPipeline":
+        """Wrap an existing vectorized engine instead of building one.
+
+        The parallel engine then shares the wrapped engine's pipeline
+        stream (and lowering cache), which is how
+        :class:`~repro.resilience.campaign.ResilientCampaign` mixes
+        parallel, vectorized, and scalar shards over one stream.
+        """
+        self = cls.__new__(cls)
+        self._setup(engine, workers, shard_size, timeout_s, health)
+        return self
+
+    def _setup(
+        self,
+        engine: VectorizedTestPipeline,
+        workers: Optional[int],
+        shard_size: Optional[int],
+        timeout_s: Optional[float],
+        health,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shard_size is not None and shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        self._vec = engine
+        self._scalar = engine._scalar
+        self.population = engine.population
+        self.library = engine.library
+        self.config = engine.config
+        self.trigger = engine.trigger
+        self.workers = workers if workers is not None else default_workers()
+        self.shard_size = shard_size
+        self.timeout_s = timeout_s
+        self.health = health
+        self._pool: Optional[DeterministicPool] = None
+        # Workers rebuild the engine from the *resolved* config and
+        # trigger model, so defaulted and explicit construction pickle
+        # the same objects.
+        self._init_payload = (
+            engine.population,
+            engine.library,
+            engine.config,
+            engine.trigger,
+            self._scalar.seed,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelTestPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> DeterministicPool:
+        if self._pool is None:
+            self._pool = DeterministicPool(
+                workers=self.workers,
+                initializer=_worker_init,
+                initargs=self._init_payload,
+                health=self.health,
+            )
+        return self._pool
+
+    # -- the campaign -------------------------------------------------------
+
+    def run(self) -> FleetStudyResult:
+        result = FleetStudyResult(
+            population_total=self.population.total,
+            arch_counts=dict(self.population.arch_counts),
+        )
+        self.run_range(0, len(self.population.faulty), result)
+        return result
+
+    def _shards(self, start: int, stop: int) -> List[Tuple[int, int]]:
+        span = stop - start
+        if self.shard_size is not None:
+            size = self.shard_size
+        else:
+            # ~4 shards per worker: enough granularity that the parent
+            # scan and replay dispatch overlap the tail of lowering,
+            # without drowning in per-task dispatch overhead.
+            size = max(64, math.ceil(span / (self.workers * 4)))
+        return [
+            (shard_start, min(shard_start + size, stop))
+            for shard_start in range(start, stop, size)
+        ]
+
+    def run_range(
+        self, start: int, stop: int, result: FleetStudyResult
+    ) -> FleetStudyResult:
+        """Run faulty CPUs ``[start, stop)``, appending into ``result``.
+
+        Same contract as the serial engines' ``run_range``: the shared
+        pipeline stream position carries in and out, so parallel shards
+        compose with checkpointing, resume, and engine degradation
+        unchanged.
+        """
+        if stop <= start:
+            return result
+        shards = self._shards(start, stop)
+        if self.workers <= 1 or len(shards) <= 1:
+            return self._vec.run_range(start, stop, result)
+        stream = self._scalar._stream
+        entry_draws = stream.consumed
+        entry_detections = len(result.detections)
+        entry_undetected = len(result.undetected_ids)
+        try:
+            return self._run_parallel(shards, result)
+        except _PoolUnusable as error:
+            if self.health is not None:
+                self.health.record(
+                    _KIND_DEGRADATION,
+                    f"parallel -> vectorized (in-process): {error}",
+                )
+            # Rewind to the call's entry state and take the identical-
+            # output serial path.
+            del result.detections[entry_detections:]
+            del result.undetected_ids[entry_undetected:]
+            stream.reset_to(entry_draws)
+            return self._vec.run_range(start, stop, result)
+
+    def _run_parallel(
+        self, shards: List[Tuple[int, int]], result: FleetStudyResult
+    ) -> FleetStudyResult:
+        pool = self._ensure_pool()
+        stream = self._scalar._stream
+        schedule = self._vec._schedule()[0]
+        lower_futures = []
+        for shard in shards:
+            future = pool.submit(_lower_shard, shard)
+            if future is None:
+                raise _PoolUnusable("pool unavailable for shard lowering")
+            lower_futures.append(future)
+        replay_futures = []
+        for index, (shard_start, shard_stop) in enumerate(shards):
+            block = self._await(
+                pool, lower_futures[index], shard_start, shard_stop
+            )
+            position = stream.consumed
+            self._scan(schedule, block, shard_start, shard_stop, stream)
+            future = pool.submit(
+                _replay_shard, (shard_start, shard_stop, position, block)
+            )
+            if future is None:
+                raise _PoolUnusable("pool unavailable for shard replay")
+            replay_futures.append(future)
+        for index, (shard_start, shard_stop) in enumerate(shards):
+            detections, undetected = self._await(
+                pool, replay_futures[index], shard_start, shard_stop
+            )
+            result.detections.extend(detections)
+            result.undetected_ids.extend(undetected)
+        return result
+
+    def _await(self, pool, future, shard_start: int, shard_stop: int):
+        """One shard outcome off the pool, or :class:`_PoolUnusable`."""
+        timeout = (
+            self.timeout_s * (shard_stop - shard_start)
+            if self.timeout_s is not None
+            else None
+        )
+        try:
+            outcome = future.result(timeout=timeout)
+        except FutureTimeout:
+            pool.degrade(
+                f"shard [{shard_start}, {shard_stop}) exceeded {timeout:.1f}s"
+            )
+            raise _PoolUnusable("shard timeout") from None
+        except BrokenProcessPool:
+            pool.degrade("process pool broke (worker died)")
+            raise _PoolUnusable("broken process pool") from None
+        if outcome[0] != "ok":
+            # Worker-side exception.  The serial rerun recomputes the
+            # same shard in-process, so a *deterministic* failure will
+            # surface there with its natural traceback.
+            cause = outcome[4]
+            pool.degrade(
+                f"worker failed on shard [{shard_start}, {shard_stop}): "
+                f"{cause}"
+            )
+            raise _PoolUnusable(cause)
+        return outcome[1][0]
+
+    @staticmethod
+    def _scan(schedule, block, start: int, stop: int, stream) -> None:
+        """Walk the real stream through one shard's draws (no results).
+
+        Mirrors the replay loop's stream consumption exactly: one draw
+        per eligible positive-probability stage until the first
+        detection, then ``nnz`` skipped draws for the failing-testcase
+        Bernoullis — pinning the next shard's start position.
+        """
+        cpu_skip, cpu_onset, _, _, _, cpu_probs, kind_nnz = block
+        draw = stream.draw
+        fast_forward = stream.fast_forward
+        for local in range(stop - start):
+            if cpu_skip[local]:
+                continue
+            onset = cpu_onset[local]
+            probs = cpu_probs[local]
+            for kind, _name, day in schedule:
+                if day < onset:
+                    continue
+                probability = probs[kind]
+                if probability <= 0.0:
+                    continue
+                if draw() < probability:
+                    fast_forward(kind_nnz[kind][local])
+                    break

@@ -182,6 +182,7 @@ class TestPipeline:
         self.library = library
         self.config = config or PipelineConfig()
         self.trigger = trigger_model or TriggerModel()
+        self.seed = seed
         #: The campaign's single Bernoulli stream.  A counted stream so
         #: checkpointing can record the exact draw position and a
         #: resumed run continues bit-identically (see repro.resilience).

@@ -90,9 +90,12 @@ class VectorizedTestPipeline:
         # the same instruction pool share their testcase rows.
         self._skeletons: Dict[object, Tuple] = {}
         # The lowering is deterministic and consumes no pipeline-stream
-        # draws, so it is computed once and reused across run_range
-        # calls (sharded campaigns, checkpoint resume).
-        self._lowered: Optional[Tuple] = None
+        # draws, so blocks are computed once per CPU range and reused
+        # across run_range calls (sharded campaigns, checkpoint resume,
+        # parallel shard workers).  The stage schedule is
+        # population-independent and cached separately.
+        self._schedule_cache: Optional[Tuple] = None
+        self._blocks: Dict[Tuple[int, int], Tuple] = {}
 
     # -- lowering ----------------------------------------------------------
 
@@ -164,24 +167,20 @@ class VectorizedTestPipeline:
         self.run_range(0, len(self.population.faulty), result)
         return result
 
-    def _lower(self) -> Tuple:
-        """Population → struct-of-arrays + per-stage-kind expectations.
+    def _schedule(self) -> Tuple:
+        """``(schedule, kind_temp, kind_time)`` — stage kinds + calendar.
 
-        Pure function of the population/config/trigger (no pipeline
-        stream draws), cached so sharded and resumed campaigns pay for
-        it once.
+        Distinct stage kinds in first-occurrence order (the scalar
+        engine caches expectations per stage name).  A pure function of
+        the pipeline config, shared by every lowered block.
         """
-        if self._lowered is not None:
-            return self._lowered
-        occurrences = self._scalar._stage_occurrences()
-
-        # Distinct stage kinds in first-occurrence order (the scalar
-        # engine caches expectations per stage name).
+        if self._schedule_cache is not None:
+            return self._schedule_cache
         kind_of: Dict[str, int] = {}
         kind_temp: List[float] = []
         kind_time: List[float] = []
         schedule: List[Tuple[int, str, float]] = []
-        for stage, day in occurrences:
+        for stage, day in self._scalar._stage_occurrences():
             kind = kind_of.get(stage.name)
             if kind is None:
                 kind = len(kind_temp)
@@ -189,10 +188,33 @@ class VectorizedTestPipeline:
                 kind_temp.append(stage.test_temp_c)
                 kind_time.append(stage.per_testcase_s)
             schedule.append((kind, stage.name, day))
+        self._schedule_cache = (schedule, kind_temp, kind_time)
+        return self._schedule_cache
+
+    def _lower_range(self, range_start: int, range_stop: int) -> Tuple:
+        """Faulty CPUs ``[range_start, range_stop)`` → struct-of-arrays.
+
+        Pure function of the population/config/trigger (no pipeline
+        stream draws), cached per block so sharded and resumed campaigns
+        pay for each range once.  Every per-pair quantity — the
+        behaviour replay (independent :class:`VectorPCG64` lane per
+        setting seed), the scalar-`pow` frequency law, and the
+        index-ordered ``bincount`` accumulations (whose addends never
+        cross a CPU boundary) — is computed identically whether the CPU
+        is lowered alone, in a shard, or in the full population, which
+        is what lets parallel shard workers lower disjoint ranges and
+        still match the serial engine bit for bit.
+
+        All returned arrays are indexed by ``cpu - range_start``.
+        """
+        cached = self._blocks.get((range_start, range_stop))
+        if cached is not None:
+            return cached
+        schedule, kind_temp, kind_time = self._schedule()
         n_kinds = len(kind_temp)
 
-        # ---- struct-of-arrays lowering over the faulty population ----
-        faulty = self.population.faulty
+        # ---- struct-of-arrays lowering over the range ----
+        faulty = self.population.faulty[range_start:range_stop]
         n_cpus = len(faulty)
         cpu_ref_mult: List[float] = []
         cpu_mult_sum: List[float] = []
@@ -361,8 +383,7 @@ class VectorizedTestPipeline:
                 ).tolist()
             )
 
-        self._lowered = (
-            schedule,
+        cached = (
             cpu_skip,
             cpu_onset,
             cpu_pair_start,
@@ -371,7 +392,8 @@ class VectorizedTestPipeline:
             list(zip(*kind_probs)),
             kind_nnz,
         )
-        return self._lowered
+        self._blocks[(range_start, range_stop)] = cached
+        return cached
 
     def run_range(
         self, start: int, stop: int, result: FleetStudyResult
@@ -387,8 +409,20 @@ class VectorizedTestPipeline:
         engine, so any per-shard engine mix is bit-identical to one
         uninterrupted run.
         """
+        return self.replay_range(start, stop, result, self._scalar._stream)
+
+    def replay_range(
+        self, start: int, stop: int, result: FleetStudyResult, stream
+    ) -> FleetStudyResult:
+        """:meth:`run_range`, but reading draws from a caller-owned stream.
+
+        The parallel engine positions a fresh
+        :class:`~repro.rng.CountedStream` at a shard's draw offset
+        (O(1) jump-ahead) and replays the shard in a worker; passing the
+        engine's own pipeline stream makes this exactly ``run_range``.
+        """
+        block = self._lower_range(start, stop)
         (
-            schedule,
             cpu_skip,
             cpu_onset,
             cpu_pair_start,
@@ -396,8 +430,8 @@ class VectorizedTestPipeline:
             kind_values,
             cpu_probs,
             kind_nnz,
-        ) = self._lower()
-        stream = self._scalar._stream
+        ) = block
+        schedule = self._schedule()[0]
         draw = stream.draw
         draw_many = stream.draw_many
         sample_failing = self._sample_failing
@@ -405,12 +439,13 @@ class VectorizedTestPipeline:
         undetected_append = result.undetected_ids.append
 
         for cpu in range(start, stop):
+            local = cpu - start
             processor = self.population.faulty[cpu]
-            if cpu_skip[cpu]:
+            if cpu_skip[local]:
                 undetected_append(processor.processor_id)
                 continue
-            onset = cpu_onset[cpu]
-            probs = cpu_probs[cpu]
+            onset = cpu_onset[local]
+            probs = cpu_probs[local]
             detection: Optional[Detection] = None
             for kind, stage_name, day in schedule:
                 if day < onset:
@@ -419,7 +454,7 @@ class VectorizedTestPipeline:
                 if probability <= 0.0:
                     continue
                 if draw() < probability:
-                    count = kind_nnz[kind][cpu]
+                    count = kind_nnz[kind][local]
                     detection = Detection(
                         processor_id=processor.processor_id,
                         arch_name=processor.arch.name,
@@ -428,8 +463,8 @@ class VectorizedTestPipeline:
                         failing_testcase_ids=sample_failing(
                             kind_values[kind],
                             pair_tc,
-                            cpu_pair_start[cpu],
-                            cpu_pair_start[cpu + 1],
+                            cpu_pair_start[local],
+                            cpu_pair_start[local + 1],
                             draw_many(count),
                         ),
                     )
@@ -439,6 +474,18 @@ class VectorizedTestPipeline:
             else:
                 detections_append(detection)
         return result
+
+    def accounting_range(self, start: int, stop: int) -> Tuple:
+        """Compact draw-accounting arrays for faulty CPUs ``[start, stop)``.
+
+        ``(cpu_skip, cpu_onset, cpu_probs, kind_nnz)``, all indexed by
+        ``cpu - start`` — exactly the inputs the parallel engine's
+        parent-side scan needs to walk the shared Bernoulli stream
+        (one draw per passing gate, ``nnz`` skipped draws per
+        detection) without materialising the per-pair replay arrays.
+        """
+        block = self._lower_range(start, stop)
+        return (block[0], block[1], block[5], block[6])
 
     @staticmethod
     def _sample_failing(

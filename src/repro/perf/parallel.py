@@ -50,7 +50,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Typ
 from ..core.backoff import ExponentialBackoff
 from ..errors import TransientWorkerError
 
-__all__ = ["default_workers", "deterministic_map"]
+__all__ = ["default_workers", "deterministic_map", "DeterministicPool"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -63,8 +63,19 @@ _KIND_DEGRADATION = "degradation"
 
 
 def default_workers(task_count: int | None = None) -> int:
-    """A sensible worker count: CPUs, capped by the number of tasks."""
-    workers = os.cpu_count() or 1
+    """A sensible worker count: *usable* CPUs, capped by the task count.
+
+    ``os.cpu_count()`` reports the machine, not the process:
+    containerized CI commonly pins a job to a CPU subset (cpuset), and
+    sizing the pool to the host oversubscribes that allowance into
+    context-switch thrash.  The scheduler affinity mask is the honest
+    budget where the platform exposes it (Linux); elsewhere fall back to
+    the CPU count.
+    """
+    try:
+        workers = len(os.sched_getaffinity(0))
+    except AttributeError:  # macOS/Windows: no affinity API
+        workers = os.cpu_count() or 1
     if task_count is not None:
         workers = min(workers, task_count)
     return max(1, workers)
@@ -171,6 +182,261 @@ def _serial_map(
     return out
 
 
+class DeterministicPool:
+    """A persistent, supervised deterministic mapper.
+
+    Same result contract as :func:`deterministic_map` — task-order
+    results, independent of worker count or scheduling — but the
+    process pool and its per-worker ``initializer`` context survive
+    across :meth:`map` calls.  Multi-phase dispatch (the parallel fleet
+    engine lowers shards in one pass and replays them in a second)
+    would otherwise pay worker spawn + context pickling per phase, and
+    worker-side caches keyed on the initializer payload could never
+    hit.
+
+    The pool is created lazily on the first parallel :meth:`map`.  Any
+    failure that makes the pool untrustworthy (creation error, broken
+    pool, chunk timeout) degrades *permanently* to serial execution in
+    the parent: results stay identical, only wall-clock changes, and a
+    flapping pool cannot oscillate.  Close with :meth:`close` or use as
+    a context manager.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        initializer: Callable[..., Any] | None = None,
+        initargs: Iterable[Any] = (),
+        retries: int = 0,
+        timeout_s: float | None = None,
+        backoff: Optional[ExponentialBackoff] = None,
+        health=None,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers if workers is not None else default_workers()
+        self.retries = retries
+        self.timeout_s = timeout_s
+        self.backoff = backoff or ExponentialBackoff(base_s=0.05, cap_s=2.0)
+        self.health = health
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._pool: ProcessPoolExecutor | None = None
+        self._degraded_reason: str | None = None
+        self._parent_ready = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "DeterministicPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(
+                wait=wait and self._degraded_reason is None,
+                cancel_futures=True,
+            )
+            self._pool = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool has permanently fallen back to serial."""
+        return self._degraded_reason is not None
+
+    def degrade(self, reason: str) -> None:
+        """Permanently retire the worker pool (callers saw it misbehave).
+
+        Outstanding futures are cancelled, the processes are abandoned
+        without waiting, and every later :meth:`map`/:meth:`submit` runs
+        serially.  Used by streaming callers (:meth:`submit`) that do
+        their own failure detection.
+        """
+        self._degrade(reason)
+
+    def _degrade(self, reason: str) -> None:
+        self._degraded_reason = reason
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_parent_init(self) -> None:
+        # Parent-side execution (serial mode, retries, degraded tails)
+        # needs the worker context too; build it lazily, at most once.
+        if not self._parent_ready:
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            self._parent_ready = True
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._degraded_reason is not None:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+            except (OSError, PermissionError, ValueError) as error:
+                # Sandboxes without /dev/shm or fork support.
+                _record(
+                    self.health, _KIND_DEGRADATION,
+                    f"process pool unavailable "
+                    f"({type(error).__name__}: {error}); running serially",
+                )
+                self._degrade(f"{type(error).__name__}: {error}")
+                return None
+        return self._pool
+
+    # -- mapping ------------------------------------------------------------
+
+    def submit(self, fn: Callable[[_T], _R], item: _T):
+        """Submit one task; a ``Future`` of a chunk outcome, or ``None``.
+
+        The streaming primitive under :meth:`map`, for callers that
+        interleave submission with result consumption (the parallel
+        fleet engine scans shard *i* while shard *i+1* is still
+        lowering).  ``None`` means the pool is serial/degraded and the
+        caller should run the task itself.  The future resolves to
+        ``("ok", [result])`` or ``("err", [], 0, item_repr, cause)`` —
+        never raises from inside the task — but waiting on it can still
+        raise ``BrokenProcessPool``/``TimeoutError``, which the caller
+        must map to :meth:`degrade` + its own fallback.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        try:
+            return pool.submit(_chunk_runner, (fn, 0, [item]))
+        except RuntimeError:
+            self._degrade("pool rejected submissions")
+            return None
+
+    def _serial(self, fn, tasks, start, out):
+        self._ensure_parent_init()
+        return _serial_map(
+            fn, tasks, start,
+            retries=self.retries, backoff=self.backoff, health=self.health,
+            out=out,
+        )
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        tasks: Sequence[_T],
+        *,
+        chunksize: int | None = None,
+    ) -> list[_R]:
+        """Map ``fn`` over ``tasks``, results in task order.
+
+        Identical supervision ladder to :func:`deterministic_map`:
+        worker-side item failures are retried in the parent against a
+        per-item budget (surfacing as
+        :class:`~repro.errors.TransientWorkerError` when exhausted), and
+        a broken pool or chunk timeout degrades the remaining work — and
+        every later ``map`` call on this pool — to serial execution.
+        """
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 2:
+            return self._serial(fn, tasks, 0, [])
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._serial(fn, tasks, 0, [])
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (self.workers * 4))
+        chunks: List[Tuple[int, List[_T]]] = [
+            (start, tasks[start:start + chunksize])
+            for start in range(0, len(tasks), chunksize)
+        ]
+        try:
+            futures = [
+                pool.submit(_chunk_runner, (fn, start, chunk))
+                for start, chunk in chunks
+            ]
+        except RuntimeError:
+            # Pool was closed underneath us (shutdown raced); degrade.
+            self._degrade("pool rejected submissions")
+            return self._serial(fn, tasks, 0, [])
+
+        results: List[_R] = []
+        for chunk_index, (start, chunk) in enumerate(chunks):
+            if self._degraded_reason is not None:
+                self._serial(fn, chunk, start, results)
+                continue
+            future = futures[chunk_index]
+            chunk_timeout = (
+                self.timeout_s * len(chunk)
+                if self.timeout_s is not None
+                else None
+            )
+            try:
+                outcome = future.result(timeout=chunk_timeout)
+            except FutureTimeout:
+                reason = f"chunk at {start} exceeded {chunk_timeout:.1f}s"
+                _record(
+                    self.health, _KIND_FAULT, f"timeout: {reason}", item=start
+                )
+                _record(
+                    self.health, _KIND_DEGRADATION,
+                    "pool abandoned after timeout; remaining tasks run "
+                    "serially",
+                )
+                self._degrade(reason)
+                self._serial(fn, chunk, start, results)
+                continue
+            except BrokenProcessPool:
+                reason = "process pool broke (worker died)"
+                _record(
+                    self.health, _KIND_FAULT,
+                    f"{reason} while waiting on chunk at {start}",
+                    item=start,
+                )
+                _record(
+                    self.health, _KIND_DEGRADATION,
+                    "remaining tasks run serially in the parent",
+                )
+                self._degrade(reason)
+                self._serial(fn, chunk, start, results)
+                continue
+            if outcome[0] == "ok":
+                results.extend(outcome[1])
+                continue
+            # Worker-side item failure: keep the chunk's computed
+            # prefix, charge the failure against the item's retry
+            # budget, and finish the chunk in the parent.
+            _, prefix, fail_index, item_repr, cause = outcome
+            results.extend(prefix)
+            _record(
+                self.health, _KIND_FAULT,
+                f"worker failure on task {fail_index} ({item_repr}): {cause}",
+                item=fail_index,
+            )
+            self._ensure_parent_init()
+            results.append(
+                _run_item_supervised(
+                    fn, tasks[fail_index], fail_index,
+                    retries=self.retries, backoff=self.backoff,
+                    health=self.health,
+                    failures=1, last_error=cause,
+                )
+            )
+            remainder_start = fail_index + 1
+            self._serial(
+                fn, tasks[remainder_start:start + len(chunk)],
+                remainder_start, results,
+            )
+        return results
+
+
 def deterministic_map(
     fn: Callable[[_T], _R],
     tasks: Sequence[_T],
@@ -191,7 +457,9 @@ def deterministic_map(
     ``workers`` resolves to 1, when there are at most 2 tasks, or when a
     process pool cannot be created (restricted environments).
 
-    Supervision (all optional):
+    One-shot convenience over :class:`DeterministicPool` (which callers
+    with several mapping phases should hold directly to keep workers and
+    their initializer context warm).  Supervision (all optional):
 
     * ``retries`` — per-item retry budget; a worker-side failure counts
       as the first attempt and remaining attempts run in the parent.
@@ -208,151 +476,17 @@ def deterministic_map(
       degradation events.
     """
     tasks = list(tasks)
-    if retries < 0:
-        raise ValueError("retries must be >= 0")
-    if timeout_s is not None and timeout_s <= 0:
-        raise ValueError("timeout_s must be positive")
-    backoff = backoff or ExponentialBackoff(base_s=0.05, cap_s=2.0)
     if workers is None:
         workers = default_workers(len(tasks))
-    workers = min(workers, len(tasks)) if tasks else 1
-    if workers <= 1 or len(tasks) <= 2:
-        if initializer is not None:
-            initializer(*initargs)
-        return _serial_map(
-            fn, tasks, 0,
-            retries=retries, backoff=backoff, health=health, out=[],
-        )
-    if chunksize is None:
-        chunksize = max(1, len(tasks) // (workers * 4))
-    chunks: List[Tuple[int, List[_T]]] = [
-        (start, tasks[start:start + chunksize])
-        for start in range(0, len(tasks), chunksize)
-    ]
-
-    results: List[_R] = []
-    pool: ProcessPoolExecutor | None = None
-    try:
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=initializer,
-            initargs=tuple(initargs),
-        )
-        futures = [
-            pool.submit(_chunk_runner, (fn, start, chunk))
-            for start, chunk in chunks
-        ]
-    except (OSError, PermissionError, ValueError) as error:
-        # Sandboxes without /dev/shm or fork support: run serially.
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-        _record(
-            health, _KIND_DEGRADATION,
-            f"process pool unavailable ({type(error).__name__}: {error}); "
-            f"running serially",
-        )
-        if initializer is not None:
-            initializer(*initargs)
-        return _serial_map(
-            fn, tasks, 0,
-            retries=retries, backoff=backoff, health=health, out=[],
-        )
-
-    # Parent-side execution (retries, degraded serial tail) needs the
-    # worker context too; build it lazily, at most once.
-    parent_ready = False
-
-    def ensure_parent_init() -> None:
-        nonlocal parent_ready
-        if not parent_ready:
-            if initializer is not None:
-                initializer(*initargs)
-            parent_ready = True
-
-    degraded_reason: str | None = None
-    try:
-        for chunk_index, (start, chunk) in enumerate(chunks):
-            if degraded_reason is not None:
-                ensure_parent_init()
-                _serial_map(
-                    fn, chunk, start,
-                    retries=retries, backoff=backoff, health=health,
-                    out=results,
-                )
-                continue
-            future = futures[chunk_index]
-            chunk_timeout = (
-                timeout_s * len(chunk) if timeout_s is not None else None
-            )
-            try:
-                outcome = future.result(timeout=chunk_timeout)
-            except FutureTimeout:
-                degraded_reason = (
-                    f"chunk at {start} exceeded {chunk_timeout:.1f}s"
-                )
-                _record(
-                    health, _KIND_FAULT,
-                    f"timeout: {degraded_reason}", item=start,
-                )
-                _record(
-                    health, _KIND_DEGRADATION,
-                    "pool abandoned after timeout; remaining tasks run "
-                    "serially",
-                )
-                pool.shutdown(wait=False, cancel_futures=True)
-                ensure_parent_init()
-                _serial_map(
-                    fn, chunk, start,
-                    retries=retries, backoff=backoff, health=health,
-                    out=results,
-                )
-                continue
-            except BrokenProcessPool:
-                degraded_reason = "process pool broke (worker died)"
-                _record(
-                    health, _KIND_FAULT,
-                    f"{degraded_reason} while waiting on chunk at {start}",
-                    item=start,
-                )
-                _record(
-                    health, _KIND_DEGRADATION,
-                    "remaining tasks run serially in the parent",
-                )
-                pool.shutdown(wait=False, cancel_futures=True)
-                ensure_parent_init()
-                _serial_map(
-                    fn, chunk, start,
-                    retries=retries, backoff=backoff, health=health,
-                    out=results,
-                )
-                continue
-            if outcome[0] == "ok":
-                results.extend(outcome[1])
-                continue
-            # Worker-side item failure: keep the chunk's computed
-            # prefix, charge the failure against the item's retry
-            # budget, and finish the chunk in the parent.
-            _, prefix, fail_index, item_repr, cause = outcome
-            results.extend(prefix)
-            _record(
-                health, _KIND_FAULT,
-                f"worker failure on task {fail_index} ({item_repr}): {cause}",
-                item=fail_index,
-            )
-            failed_item = tasks[fail_index]
-            ensure_parent_init()
-            results.append(
-                _run_item_supervised(
-                    fn, failed_item, fail_index,
-                    retries=retries, backoff=backoff, health=health,
-                    failures=1, last_error=cause,
-                )
-            )
-            remainder_start = fail_index + 1
-            _serial_map(
-                fn, tasks[remainder_start:start + len(chunk)], remainder_start,
-                retries=retries, backoff=backoff, health=health, out=results,
-            )
-    finally:
-        pool.shutdown(wait=degraded_reason is None, cancel_futures=True)
-    return results
+    workers = max(1, min(workers, len(tasks))) if tasks else 1
+    pool = DeterministicPool(
+        workers=workers,
+        initializer=initializer,
+        initargs=initargs,
+        retries=retries,
+        timeout_s=timeout_s,
+        backoff=backoff,
+        health=health,
+    )
+    with pool:
+        return pool.map(fn, tasks, chunksize=chunksize)

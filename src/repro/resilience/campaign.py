@@ -38,6 +38,7 @@ from ..errors import (
     ParityDegradedError,
     TransientWorkerError,
 )
+from ..fleet.parallel import ParallelTestPipeline
 from ..fleet.pipeline import Detection, FleetStudyResult, PipelineConfig
 from ..fleet.population import FleetPopulation, FleetSpec, generate_fleet
 from ..fleet.vectorized import VectorizedTestPipeline
@@ -54,7 +55,7 @@ from .health import (
 
 __all__ = ["CampaignSpec", "ResilientCampaign", "run_resilient_campaign"]
 
-ENGINES = ("scalar", "vectorized")
+ENGINES = ("scalar", "vectorized", "parallel")
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,7 @@ class ResilientCampaign:
         seed: int = 11,
         engine: str = "vectorized",
         shard_size: int = 256,
+        workers: Optional[int] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         checkpoint_every: int = 1,
         chaos: Optional[ChaosInjector] = None,
@@ -162,6 +164,8 @@ class ResilientCampaign:
             )
         if shard_size <= 0:
             raise ConfigurationError("shard_size must be positive")
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1")
         if checkpoint_every <= 0:
             raise ConfigurationError("checkpoint_every must be positive")
         if max_shard_retries < 0:
@@ -171,6 +175,7 @@ class ResilientCampaign:
         self.spec = spec
         self.engine = engine
         self.shard_size = shard_size
+        self.workers = workers
         self.store = checkpoint_store
         self.checkpoint_every = checkpoint_every
         self.chaos = chaos
@@ -189,6 +194,10 @@ class ResilientCampaign:
         )
         self._scalar = self._vectorized._scalar
         self._stream = self._scalar._stream
+        # The parallel engine wraps the same vectorized engine (same
+        # stream, same lowering cache); built lazily so scalar and
+        # vectorized campaigns never construct a pool.
+        self._parallel: Optional[ParallelTestPipeline] = None
         self._cursor = 0
         self._shards_since_checkpoint = 0
         self.result = FleetStudyResult(
@@ -347,11 +356,22 @@ class ResilientCampaign:
             arch_counts=dict(self.population.arch_counts),
         )
 
+    def _ensure_parallel(self) -> ParallelTestPipeline:
+        if self._parallel is None:
+            self._parallel = ParallelTestPipeline.from_vectorized(
+                self._vectorized,
+                workers=self.workers,
+                health=self.health,
+            )
+        return self._parallel
+
     def _run_shard_once(
         self, start: int, stop: int, engine: str
     ) -> FleetStudyResult:
         shard_result = self._shard_result()
-        if engine == "vectorized":
+        if engine == "parallel":
+            self._ensure_parallel().run_range(start, stop, shard_result)
+        elif engine == "vectorized":
             self._vectorized.run_range(start, stop, shard_result)
         else:
             self._scalar.run_range(start, stop, shard_result)
@@ -373,7 +393,7 @@ class ResilientCampaign:
                 if self.chaos is not None:
                     self.chaos.on_shard_start(shard)
                 shard_result = self._run_shard_once(start, stop, engine)
-                if engine == "vectorized":
+                if engine != "scalar":
                     self._self_check_parity(
                         start, stop, shard, draws_at_start, shard_result
                     )
@@ -382,7 +402,7 @@ class ResilientCampaign:
                 # Ground truth is the scalar engine; degrade this shard.
                 self.health.record(
                     KIND_DEGRADATION,
-                    f"vectorized -> scalar: {error}",
+                    f"{engine} -> scalar: {error}",
                     shard=shard,
                 )
                 engine = "scalar"

@@ -55,14 +55,24 @@ class CountedStream:
     """A uniform-[0,1) draw stream with an exact, restorable position.
 
     Campaign checkpointing needs to record *where* in a substream a run
-    stopped so a resumed process continues bit-identically.  PCG64
-    cannot be rewound, but ``Generator.random(n)`` emits the identical
-    double sequence as ``n`` scalar ``random()`` calls, so a position
-    is fully described by the draw *count*: a fresh generator
-    fast-forwarded by ``consumed`` draws is indistinguishable from the
-    original.  Draws are block-buffered for speed; the buffer never
-    affects the delivered sequence, only how far ahead the underlying
-    generator has run.
+    stopped so a resumed process continues bit-identically.
+    ``Generator.random(n)`` emits the identical double sequence as ``n``
+    scalar ``random()`` calls, so a position is fully described by the
+    draw *count*: a fresh generator positioned at ``consumed`` draws is
+    indistinguishable from the original.  Draws are block-buffered for
+    speed; the buffer never affects the delivered sequence, only how far
+    ahead the underlying generator has run.
+
+    Positioning is O(1), not O(position): every delivered double costs
+    exactly one 64-bit PCG64 output (``next_uint64 >> 11``), so a draw
+    position maps one-to-one onto a bit-generator state, and PCG64's
+    LCG structure gives closed-form jump-ahead
+    (``bit_generator.advance``).  :meth:`fast_forward` consumes what the
+    buffer already holds and jumps over the rest; :meth:`reset_to`
+    rewinds by rebuilding the seeded generator and jumping straight to
+    the target.  Draw *values* never need to be regenerated to move the
+    position — the replay-style O(N) skip exists only implicitly, as
+    the equivalence the jump is tested against.
     """
 
     __slots__ = ("_seed", "_names", "_block", "_rng", "_buffer", "_cursor",
@@ -112,22 +122,32 @@ class CountedStream:
         return block
 
     def fast_forward(self, count: int) -> None:
-        """Discard the next ``count`` doubles (checkpoint restore)."""
+        """Skip the next ``count`` doubles in O(1) (checkpoint restore).
+
+        What the buffer already holds is consumed in place; any
+        remainder is a closed-form ``bit_generator.advance`` jump (one
+        double == one 64-bit PCG64 step), so seeking to draw position P
+        does not generate the P skipped values.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
-        while count > 0:
-            if self._cursor >= len(self._buffer):
-                self._refill()
-            step = min(count, len(self._buffer) - self._cursor)
-            self._cursor += step
-            self._consumed += step
-            count -= step
+        available = len(self._buffer) - self._cursor
+        if count <= available:
+            self._cursor += count
+        else:
+            # The generator itself sits `available` doubles ahead of the
+            # delivered position; jump it over the not-yet-generated part.
+            self._rng.bit_generator.advance(count - available)
+            self._buffer = []
+            self._cursor = 0
+        self._consumed += count
 
     def reset_to(self, position: int) -> None:
-        """Reposition the stream at an absolute draw count.
+        """Reposition the stream at an absolute draw count, O(1) either way.
 
-        Rewinding rebuilds the generator from its seed path and replays
-        forward, so any position — earlier or later — is reachable.
+        Rewinding rebuilds the generator from its seed path and jumps
+        ahead to the target, so any position — earlier or later — is
+        reachable without replaying the prefix.
         """
         if position < 0:
             raise ValueError("position must be non-negative")
@@ -135,10 +155,11 @@ class CountedStream:
             self.fast_forward(position - self._consumed)
             return
         self._rng = substream(self._seed, *self._names)
+        if position:
+            self._rng.bit_generator.advance(position)
         self._buffer = []
         self._cursor = 0
-        self._consumed = 0
-        self.fast_forward(position)
+        self._consumed = position
 
 
 def stream_family(seed: int, prefix: str) -> Iterator[np.random.Generator]:

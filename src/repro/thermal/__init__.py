@@ -1,11 +1,13 @@
 """Thermal substrate: package RC model, cooling, stress, monitoring."""
 
+from .batch import BatchPackageThermalModel
 from .model import PackageThermalModel, ThermalParams
 from .cooling import CoolingDevice, FanCurveController
 from .stress import StressTool
 from .sensors import TemperatureMonitor, TemperatureSample
 
 __all__ = [
+    "BatchPackageThermalModel",
     "PackageThermalModel",
     "ThermalParams",
     "CoolingDevice",

@@ -1,0 +1,162 @@
+"""Struct-of-arrays batch integration of the lumped-RC thermal model.
+
+:class:`BatchPackageThermalModel` steps *N* independent package models
+at once with NumPy array ops, **bit-identical per lane** to stepping
+*N* scalar :class:`~repro.thermal.model.PackageThermalModel` instances.
+The fleet-scale Farron online simulation
+(:func:`repro.core.batch_online.simulate_online_batch`) spends most of
+its time here, so the inner loop must be array-shaped — but the
+benchmarks assert exact parity with the scalar path, so every
+floating-point operation must happen in the same order per lane:
+
+* NumPy elementwise ``+ - * /`` on float64 are the same IEEE-754
+  operations the scalar model performs, so per-lane sequences of
+  elementwise updates match bit for bit;
+* the package power sum accumulates **core by core along axis 1**
+  (``total = total + powers[:, i]``), reproducing the scalar
+  ``sum(powers)`` left-to-right addition order — a pairwise
+  ``np.sum(axis=1)`` would round differently;
+* lanes with fewer cores than the widest lane are zero-padded; padded
+  powers and deltas stay exactly ``0.0`` (their ODE is ``dD = (0 -
+  0/R)/C = 0``) and ``x + 0.0 == x`` for the non-negative power sums,
+  so padding never perturbs a lane;
+* the substep schedule (``min(c_core * r_core, 2.0)`` chunks of the
+  requested ``dt_s``) is identical for every lane because it depends
+  only on the shared :class:`~repro.thermal.model.ThermalParams`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cpu.processor import MicroArchitecture
+from ..errors import ConfigurationError
+from .model import ThermalParams
+
+__all__ = ["BatchPackageThermalModel"]
+
+
+class BatchPackageThermalModel:
+    """Thermal state of ``N`` packages, stepped together.
+
+    Lane ``i`` mirrors ``PackageThermalModel(archs[i], params,
+    cooling_factor)`` exactly.  Readouts are arrays over lanes; cores
+    beyond a lane's ``physical_cores`` are padding and must be masked
+    by the caller (see :attr:`core_mask`).
+    """
+
+    def __init__(
+        self,
+        archs: Sequence[MicroArchitecture],
+        params: Optional[ThermalParams] = None,
+        cooling_factor: float = 1.0,
+    ):
+        if not archs:
+            raise ConfigurationError("archs must be non-empty")
+        if cooling_factor <= 0:
+            raise ConfigurationError("cooling_factor must be positive")
+        self.params = params if params is not None else ThermalParams()
+        self.cooling_factor = cooling_factor
+        self.n_lanes = len(archs)
+        self.n_cores = np.array(
+            [arch.physical_cores for arch in archs], dtype=np.intp
+        )
+        self.max_cores = int(self.n_cores.max())
+        #: [n_lanes, max_cores] — True where the core exists on the lane.
+        self.core_mask = (
+            np.arange(self.max_cores)[None, :] < self.n_cores[:, None]
+        )
+        #: Max dynamic watts per core at heat factor 1.0, per lane.
+        self.dynamic_budget_per_core = np.array(
+            [
+                (arch.tdp_watts - self.params.idle_power_w)
+                / arch.physical_cores
+                for arch in archs
+            ]
+        )
+        # Idle equilibrium, the scalar model's starting temperature.
+        # One scalar expression broadcast to all lanes — identical to
+        # each lane's own equilibrium_package_temp(0.0).
+        idle_equilibrium = self.params.ambient_c + (
+            self.params.idle_power_w * self.params.r_package * cooling_factor
+        )
+        self.t_package = np.full(self.n_lanes, idle_equilibrium)
+        self.deltas = np.zeros((self.n_lanes, self.max_cores))
+        self.elapsed_s = 0.0
+
+    def core_powers(
+        self, utilization: np.ndarray, heat_factor: np.ndarray
+    ) -> np.ndarray:
+        """[n_lanes, max_cores] watts for a uniform all-core load.
+
+        Matches the scalar ``_core_power(utilization, heat_factor)`` —
+        the product associates ``(utilization * heat_factor) * budget``
+        — applied to every existing core of the lane; padded cores get
+        exactly 0.0.  Callers zero out additional columns (masked
+        cores) before stepping.
+        """
+        if np.any(utilization < 0.0) or np.any(utilization > 1.0):
+            raise ConfigurationError("utilization must be in [0, 1]")
+        if np.any(heat_factor < 0.0):
+            raise ConfigurationError("heat_factor must be non-negative")
+        per_core = (
+            (utilization * heat_factor) * self.dynamic_budget_per_core
+        )
+        return np.where(self.core_mask, per_core[:, None], 0.0)
+
+    def step(self, dt_s: float, powers: np.ndarray) -> None:
+        """Advance every lane ``dt_s`` seconds under ``powers`` watts.
+
+        ``powers`` is [n_lanes, max_cores] with padded columns equal to
+        0.0 (see :meth:`core_powers`).  The substep loop, the
+        core-by-core power accumulation, and the two Euler updates are
+        the scalar model's, evaluated lane-parallel.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        params = self.params
+        r_eff = params.r_package * self.cooling_factor
+        # Scalar sum(powers) starts from 0 and adds left to right; a
+        # padded column adds +0.0, which is exact for the non-negative
+        # power rows.
+        total_power = np.zeros(self.n_lanes)
+        for core in range(self.max_cores):
+            total_power = total_power + powers[:, core]
+        total_power = params.idle_power_w + total_power
+        remaining = dt_s
+        max_substep = min(params.c_core * params.r_core, 2.0)
+        while remaining > 1e-12:
+            h = min(remaining, max_substep)
+            dT = (
+                total_power - (self.t_package - params.ambient_c) / r_eff
+            ) / params.c_package
+            self.t_package = self.t_package + dT * h
+            dD = (powers - self.deltas / params.r_core) / params.c_core
+            self.deltas = self.deltas + dD * h
+            remaining -= h
+        self.elapsed_s += dt_s
+
+    # -- readouts -----------------------------------------------------------
+
+    def core_temps(self) -> np.ndarray:
+        """[n_lanes, max_cores]; padded columns read as package temp."""
+        return self.t_package[:, None] + self.deltas
+
+    def max_core_temp(self, active_mask: np.ndarray) -> np.ndarray:
+        """Per-lane max core temperature over ``active_mask`` columns.
+
+        ``active_mask`` is [n_lanes, max_cores] and must select at
+        least one core per lane (the scalar simulation's unmasked-core
+        list is never empty).
+        """
+        temps = np.where(active_mask, self.core_temps(), -np.inf)
+        return temps.max(axis=1)
+
+    def lane_states(self) -> List[tuple]:
+        """Per-lane ``(t_package, deltas)`` snapshots (tests/debugging)."""
+        return [
+            (float(self.t_package[i]), self.deltas[i, : self.n_cores[i]].tolist())
+            for i in range(self.n_lanes)
+        ]
