@@ -12,10 +12,12 @@ import math
 
 from repro.analysis import (
     bitflip_histogram,
+    bitflip_histogram_frame,
     precision_losses,
     render_histogram,
     render_table,
     summarize_precision,
+    summarize_precision_frame,
 )
 from repro.cpu import DataType
 
@@ -29,19 +31,28 @@ DTYPES = (
 )
 
 
-def test_fig4_bitflips_and_precision(benchmark, catalog_corpus):
+def test_fig4_bitflips_and_precision(benchmark, catalog_corpus, catalog_frame):
     def measure():
         histograms = {
-            dtype: bitflip_histogram(catalog_corpus.records, dtype)
+            dtype: bitflip_histogram_frame(catalog_frame, dtype)
             for dtype in DTYPES
         }
         summaries = {
-            dtype: summarize_precision(catalog_corpus.records, dtype)
+            dtype: summarize_precision_frame(catalog_frame, dtype)
             for dtype in DTYPES
         }
         return histograms, summaries
 
     histograms, summaries = run_once(benchmark, measure)
+
+    # The columnar kernels must be bit-identical to the scalar path.
+    for dtype in DTYPES:
+        assert histograms[dtype] == bitflip_histogram(
+            catalog_corpus.records, dtype
+        )
+        assert summaries[dtype] == summarize_precision(
+            catalog_corpus.records, dtype
+        )
 
     print()
     for dtype in DTYPES:

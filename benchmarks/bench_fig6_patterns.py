@@ -7,17 +7,21 @@ pattern-dominated (> 0.5).
 
 import string
 
-from repro.analysis import pattern_proportions_by_setting, render_table
+from repro.analysis import (
+    pattern_proportions_by_setting,
+    pattern_proportions_by_setting_frame,
+    render_table,
+)
 
 from conftest import run_once
 
 PROCESSORS = ("MIX1", "MIX2", "SIMD1", "FPU1", "FPU2")
 
 
-def test_fig6_bitflip_pattern_heatmap(benchmark, catalog_corpus):
+def test_fig6_bitflip_pattern_heatmap(benchmark, catalog_corpus, catalog_frame):
     def measure():
-        proportions = pattern_proportions_by_setting(
-            catalog_corpus, min_records=8
+        proportions = pattern_proportions_by_setting_frame(
+            catalog_frame, min_records=8
         )
         return {
             setting: value
@@ -27,6 +31,16 @@ def test_fig6_bitflip_pattern_heatmap(benchmark, catalog_corpus):
 
     heatmap = run_once(benchmark, measure)
     assert heatmap
+
+    # Columnar/scalar parity: same settings, same proportions.
+    scalar = {
+        setting: value
+        for setting, value in pattern_proportions_by_setting(
+            catalog_corpus, min_records=8
+        ).items()
+        if setting[0] in PROCESSORS
+    }
+    assert heatmap == scalar
 
     # Label the testcases A, B, C ... like the paper's rows.  Rows are
     # picked round-robin across processors so every column of the

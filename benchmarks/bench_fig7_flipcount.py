@@ -5,7 +5,11 @@ Paper: float32 0.98/0.02/0; float64 0.90/0.08/0.02; float64x
 flips with a considerable multi-bit tail.
 """
 
-from repro.analysis import flip_count_distribution, render_table
+from repro.analysis import (
+    flip_count_distribution,
+    flip_count_distribution_frame,
+    render_table,
+)
 from repro.cpu import DataType
 
 from conftest import run_once
@@ -19,14 +23,20 @@ PAPER = {
 }
 
 
-def test_fig7_flipped_bit_counts(benchmark, catalog_corpus):
+def test_fig7_flipped_bit_counts(benchmark, catalog_corpus, catalog_frame):
     def measure():
         return {
-            dtype: flip_count_distribution(catalog_corpus, dtype)
+            dtype: flip_count_distribution_frame(catalog_frame, dtype)
             for dtype in PAPER
         }
 
     measured = run_once(benchmark, measure)
+
+    # Columnar/scalar parity: identical proportion dicts per dtype.
+    for dtype in PAPER:
+        assert measured[dtype] == flip_count_distribution(
+            catalog_corpus, dtype
+        )
 
     print()
     rows = []

@@ -15,9 +15,13 @@ from repro.analysis import render_table
 from repro.detectors import (
     DecodeStatus,
     checksum_timing_experiment,
+    checksum_timing_experiment_batch,
     ecc_multibit_experiment,
+    ecc_multibit_experiment_batch,
     erasure_faulty_encoder_experiment,
+    erasure_faulty_encoder_experiment_batch,
     erasure_propagation_experiment,
+    erasure_propagation_experiment_batch,
     prediction_experiment,
 )
 from repro.faults import IIDBitflip
@@ -27,20 +31,35 @@ from conftest import run_once
 
 def test_obs12_detector_effectiveness(benchmark):
     def measure():
+        # Batched kernels; prediction stays scalar (the range predictor
+        # is a stateful stream).
         return {
-            "checksum": checksum_timing_experiment(trials=600),
-            "ecc_study": ecc_multibit_experiment(trials=1500),
-            "ecc_iid": ecc_multibit_experiment(
+            "checksum": checksum_timing_experiment_batch(trials=600),
+            "ecc_study": ecc_multibit_experiment_batch(trials=1500),
+            "ecc_iid": ecc_multibit_experiment_batch(
                 bitflip_model=IIDBitflip(), trials=1500
             ),
-            "erasure": erasure_propagation_experiment(trials=60),
-            "faulty_encoder": erasure_faulty_encoder_experiment(trials=60),
+            "erasure": erasure_propagation_experiment_batch(trials=60),
+            "faulty_encoder": erasure_faulty_encoder_experiment_batch(
+                trials=60
+            ),
             "prediction": prediction_experiment(
                 tolerance=0.05, stream_len=4000
             ),
         }
 
     results = run_once(benchmark, measure)
+
+    # Batched/scalar parity: identical reports under identical draws.
+    assert results["checksum"] == checksum_timing_experiment(trials=600)
+    assert results["ecc_study"] == ecc_multibit_experiment(trials=1500)
+    assert results["ecc_iid"] == ecc_multibit_experiment(
+        bitflip_model=IIDBitflip(), trials=1500
+    )
+    assert results["erasure"] == erasure_propagation_experiment(trials=60)
+    assert results["faulty_encoder"] == erasure_faulty_encoder_experiment(
+        trials=60
+    )
 
     checksum = results["checksum"]
     ecc_study = results["ecc_study"]

@@ -20,6 +20,13 @@ from .evaluate import (
     erasure_propagation_experiment,
     prediction_experiment,
 )
+from .batch import (
+    Secded64Batch,
+    checksum_timing_experiment_batch,
+    ecc_multibit_experiment_batch,
+    erasure_faulty_encoder_experiment_batch,
+    erasure_propagation_experiment_batch,
+)
 
 __all__ = [
     "ANCode",
@@ -56,4 +63,9 @@ __all__ = [
     "ecc_multibit_experiment",
     "erasure_propagation_experiment",
     "prediction_experiment",
+    "Secded64Batch",
+    "checksum_timing_experiment_batch",
+    "ecc_multibit_experiment_batch",
+    "erasure_faulty_encoder_experiment_batch",
+    "erasure_propagation_experiment_batch",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..errors import ConfigurationError
+from ..cpu.datatypes import popcount
 
 __all__ = ["DecodeStatus", "DecodeResult", "Secded64"]
 
@@ -53,6 +54,19 @@ _PARITY_POSITIONS, _DATA_POSITIONS = _positions()
 _CODEWORD_BITS = _DATA_BITS + _PARITY_BITS  # positions 1..71
 #: The stored word adds one overall-parity bit: 72 bits total.
 
+#: Per-parity-bit coverage masks over codeword bits 0.._CODEWORD_BITS-1:
+#: parity ``i`` covers every position whose index has bit ``i`` set.
+#: Shared by the scalar popcount path below and the batched syndrome
+#: decoder in :mod:`repro.detectors.batch`.
+_PARITY_MASKS: List[int] = [
+    sum(
+        1 << (position - 1)
+        for position in range(1, _CODEWORD_BITS + 1)
+        if position & parity_position
+    )
+    for parity_position in _PARITY_POSITIONS
+]
+
 
 class Secded64:
     """Encode/decode 64-bit words with SECDED protection."""
@@ -66,15 +80,10 @@ class Secded64:
         for index, position in enumerate(_DATA_POSITIONS):
             if data >> index & 1:
                 codeword |= 1 << (position - 1)
-        for i, parity_position in enumerate(_PARITY_POSITIONS):
-            parity = 0
-            for position in range(1, _CODEWORD_BITS + 1):
-                if position & parity_position and codeword >> (position - 1) & 1:
-                    parity ^= 1
-            if parity:
+        for parity_position, mask in zip(_PARITY_POSITIONS, _PARITY_MASKS):
+            if popcount(codeword & mask) & 1:
                 codeword |= 1 << (parity_position - 1)
-        overall = bin(codeword).count("1") & 1
-        if overall:
+        if popcount(codeword) & 1:
             codeword |= 1 << _CODEWORD_BITS
         return codeword
 
@@ -98,14 +107,10 @@ class Secded64:
         if not 0 <= codeword < (1 << (_CODEWORD_BITS + 1)):
             raise ConfigurationError("codeword must be 72 bits")
         syndrome = 0
-        for i, parity_position in enumerate(_PARITY_POSITIONS):
-            parity = 0
-            for position in range(1, _CODEWORD_BITS + 1):
-                if position & parity_position and codeword >> (position - 1) & 1:
-                    parity ^= 1
-            if parity:
+        for parity_position, mask in zip(_PARITY_POSITIONS, _PARITY_MASKS):
+            if popcount(codeword & mask) & 1:
                 syndrome |= parity_position
-        overall = bin(codeword).count("1") & 1
+        overall = popcount(codeword) & 1
 
         if syndrome == 0 and overall == 0:
             return DecodeResult(DecodeStatus.CLEAN, cls._extract_data(codeword))

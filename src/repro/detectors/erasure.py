@@ -15,8 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ConfigurationError
-from .gf256 import gf_dot, gf_inv, gf_matrix_invert, gf_matrix_vector
+from .gf256 import (
+    gf_dot,
+    gf_inv,
+    gf_matrix_invert,
+    gf_matrix_vector,
+    gf_scale_array,
+)
 
 __all__ = ["ReedSolomon"]
 
@@ -117,6 +125,79 @@ class ReedSolomon:
             for shard_index in range(self.k):
                 data[shard_index][offset] = recovered[shard_index]
         return [bytes(d) for d in data]
+
+    # -- columnar (NumPy byte-matrix) paths -----------------------------------
+
+    def encode_array(self, data: np.ndarray) -> np.ndarray:
+        """Parity matrix for a ``(k, shard_len)`` uint8 data matrix.
+
+        Byte-identical to :meth:`encode`: the same Cauchy rows applied
+        through the same log/antilog tables, whole shards at a time
+        instead of per offset.
+        """
+        matrix = np.asarray(data, dtype=np.uint8)
+        if matrix.ndim != 2 or matrix.shape[0] != self.k:
+            raise ConfigurationError(
+                f"expected a ({self.k}, shard_len) data matrix"
+            )
+        parity = np.zeros((self.m, matrix.shape[1]), dtype=np.uint8)
+        for row_index, row in enumerate(self._parity_rows()):
+            acc = parity[row_index]
+            for coefficient, shard in zip(row, matrix):
+                acc ^= gf_scale_array(coefficient, shard)
+        return parity
+
+    def reconstruct_array(
+        self, shards: Dict[int, np.ndarray], shard_len: int
+    ) -> np.ndarray:
+        """Columnar :meth:`reconstruct`: ``(k, shard_len)`` uint8 out.
+
+        The k-by-k decode matrix is still inverted scalar-wise (it is
+        tiny); applying its rows across whole shards is the vectorized
+        part.
+        """
+        if len(shards) < self.k:
+            raise ConfigurationError(
+                f"need at least {self.k} shards, got {len(shards)}"
+            )
+        for index in shards:
+            if not 0 <= index < self.k + self.m:
+                raise ConfigurationError(f"shard index {index} out of range")
+        chosen = sorted(shards)[: self.k]
+        parity_rows = self._parity_rows()
+        matrix: List[List[int]] = []
+        for index in chosen:
+            if index < self.k:
+                matrix.append(
+                    [1 if col == index else 0 for col in range(self.k)]
+                )
+            else:
+                matrix.append(parity_rows[index - self.k])
+        inverse = gf_matrix_invert(matrix)
+        survivors = np.stack(
+            [
+                np.frombuffer(bytes(shards[index]), dtype=np.uint8)
+                for index in chosen
+            ]
+        )
+        if survivors.shape[1] != shard_len:
+            raise ConfigurationError("shard length mismatch")
+        data = np.zeros((self.k, shard_len), dtype=np.uint8)
+        for shard_index, row in enumerate(inverse):
+            acc = data[shard_index]
+            for coefficient, survivor in zip(row, survivors):
+                acc ^= gf_scale_array(coefficient, survivor)
+        return data
+
+    def verify_array(
+        self, data: np.ndarray, parity: np.ndarray
+    ) -> bool:
+        """Columnar :meth:`verify` over uint8 matrices."""
+        return bool(
+            np.array_equal(
+                self.encode_array(data), np.asarray(parity, dtype=np.uint8)
+            )
+        )
 
     def verify(self, data_shards: Sequence[bytes], parity_shards: Sequence[bytes]) -> bool:
         """Whether stored parity matches recomputed parity.

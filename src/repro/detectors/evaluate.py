@@ -61,6 +61,26 @@ class ChecksumTimingReport:
         return self.detected_pre_parity / self.trials if self.trials else 0.0
 
 
+def _checksum_trial_draws(trials: int, payload_len: int, seed: int):
+    """Per-trial draws of the checksum experiment, in stream order.
+
+    Shared by the scalar loop below and the batched kernel in
+    :mod:`repro.detectors.batch` so both consume the identical
+    substream sequence (payload bytes, corrupt offset, corrupt bit per
+    trial) and therefore reach identical verdicts.
+    """
+    rng = substream(seed, "checksum-timing")
+    integers = rng.integers
+    payloads = np.empty((trials, payload_len), dtype=np.uint8)
+    offsets = np.empty(trials, dtype=np.int64)
+    flip_masks = np.empty(trials, dtype=np.uint8)
+    for trial in range(trials):
+        payloads[trial] = integers(0, 256, size=payload_len)
+        offsets[trial] = int(integers(payload_len))
+        flip_masks[trial] = 1 << int(integers(8))
+    return payloads, offsets, flip_masks
+
+
 def checksum_timing_experiment(
     trials: int = 500, payload_len: int = 32, seed: int = 0
 ) -> ChecksumTimingReport:
@@ -71,18 +91,16 @@ def checksum_timing_experiment(
     *Pre-parity*: the CPU produces a wrong value first and the digest
     is computed over it — §6.2's CPU-SDC case.
     """
-    rng = substream(seed, "checksum-timing")
+    payloads, offsets, flip_masks = _checksum_trial_draws(
+        trials, payload_len, seed
+    )
     detected_post = 0
     detected_pre = 0
-    integers = rng.integers
-    for _ in range(trials):
-        payload = bytearray(integers(0, 256, size=payload_len).tolist())
-        corrupt_index = int(integers(payload_len))
-        corrupt_mask = 1 << int(integers(8))
-
+    for trial in range(trials):
+        payload = bytearray(payloads[trial].tolist())
         digest = crc32(bytes(payload))
         corrupted = bytearray(payload)
-        corrupted[corrupt_index] ^= corrupt_mask
+        corrupted[int(offsets[trial])] ^= int(flip_masks[trial])
         if not verify_crc32(bytes(corrupted), digest):
             detected_post += 1
 
@@ -109,6 +127,28 @@ class EccReport:
         return self.rate(DecodeStatus.MISCORRECTED)
 
 
+def _ecc_trial_draws(bitflip_model: Optional[BitflipModel], trials: int, seed: int):
+    """Per-trial (data word, flip mask) draws of the ECC experiment.
+
+    Shared by the scalar loop below and the batched decoder in
+    :mod:`repro.detectors.batch`: the per-trial draw order
+    (low 63 bits, top bit, model mask) is preserved exactly, so both
+    paths see the same words and masks under the same seed.
+    """
+    model = bitflip_model or PositionBiasedBitflip()
+    rng = substream(seed, "ecc-multibit")
+    integers = rng.integers
+    sample_mask = model.sample_mask
+    data_words = np.empty(trials, dtype=np.uint64)
+    flip_masks = np.empty(trials, dtype=np.uint64)
+    for trial in range(trials):
+        data_words[trial] = int(integers(0, 1 << 63)) | (
+            int(integers(0, 2)) << 63
+        )
+        flip_masks[trial] = sample_mask(DataType.BIN64, rng)
+    return data_words, flip_masks
+
+
 def ecc_multibit_experiment(
     bitflip_model: Optional[BitflipModel] = None,
     trials: int = 500,
@@ -119,18 +159,14 @@ def ecc_multibit_experiment(
     Flips are applied to the codeword's data region, emulating an SDC
     that lands in protected storage after encoding.
     """
-    model = bitflip_model or PositionBiasedBitflip()
-    rng = substream(seed, "ecc-multibit")
+    data_words, flip_masks = _ecc_trial_draws(bitflip_model, trials, seed)
     outcomes: Dict[DecodeStatus, int] = {}
-    integers = rng.integers
-    sample_mask = model.sample_mask
     flipped_positions = datatypes.flipped_positions
-    for _ in range(trials):
-        data = int(integers(0, 1 << 63)) | (int(integers(0, 2)) << 63)
+    for trial in range(trials):
+        data = int(data_words[trial])
         codeword = Secded64.encode(data)
-        mask64 = sample_mask(DataType.BIN64, rng)
         corrupted = codeword
-        for position in flipped_positions(mask64):
+        for position in flipped_positions(int(flip_masks[trial])):
             # Map data-bit positions into their codeword positions.
             corrupted ^= 1 << (_DATA_POSITIONS[position] - 1)
         result = Secded64.decode(corrupted, true_data=data)

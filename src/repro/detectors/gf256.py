@@ -12,16 +12,22 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 __all__ = [
     "GF_POLY",
+    "GF_EXP_U8",
+    "GF_LOG_U8",
     "gf_add",
     "gf_mul",
     "gf_div",
     "gf_pow",
     "gf_inv",
     "gf_dot",
+    "gf_mul_array",
+    "gf_scale_array",
     "gf_matrix_vector",
     "gf_matrix_invert",
 ]
@@ -29,27 +35,38 @@ __all__ = [
 GF_POLY = 0x11B
 _FIELD = 256
 
-_EXP: List[int] = [0] * (2 * _FIELD)
-_LOG: List[int] = [0] * _FIELD
 
-
-def _build_tables() -> None:
+def _build_tables() -> tuple:
     # Generator 3 (0x03): 2 is NOT primitive modulo 0x11B (its
     # multiplicative order is 51), so the classic shift-only loop would
     # build inconsistent tables.
+    exp = [0] * (2 * _FIELD)
+    log = [0] * _FIELD
     value = 1
     for power in range(_FIELD - 1):
-        _EXP[power] = value
-        _LOG[value] = power
+        exp[power] = value
+        log[value] = power
         doubled = value << 1
         if doubled & 0x100:
             doubled ^= GF_POLY
         value = doubled ^ value  # value *= 3
     for power in range(_FIELD - 1, 2 * _FIELD):
-        _EXP[power] = _EXP[power - (_FIELD - 1)]
+        exp[power] = exp[power - (_FIELD - 1)]
+    return exp, log
 
 
-_build_tables()
+#: Canonical log/antilog tables as ``np.uint8`` arrays, shared by the
+#: scalar field ops (via the list views below) and the vectorized
+#: Reed-Solomon kernels.  ``GF_EXP_U8`` is doubled so a uint16 log sum
+#: (max 254 + 254) indexes without a modulo.
+_exp_list, _log_list = _build_tables()
+GF_EXP_U8 = np.array(_exp_list, dtype=np.uint8)
+GF_LOG_U8 = np.array(_log_list, dtype=np.uint8)
+
+#: List views of the same tables for the scalar hot path (Python-list
+#: indexing avoids NumPy scalar boxing).
+_EXP: List[int] = _exp_list
+_LOG: List[int] = _log_list
 
 
 def _check(value: int) -> int:
@@ -92,6 +109,31 @@ def gf_pow(base: int, exponent: int) -> int:
 
 def gf_inv(a: int) -> int:
     return gf_div(1, a)
+
+
+def gf_mul_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise GF(256) product of two uint8 arrays.
+
+    Table math identical to :func:`gf_mul`: ``exp[log a + log b]`` with
+    zero operands forced to zero (``log 0`` is a placeholder).
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    product = GF_EXP_U8[
+        GF_LOG_U8[a].astype(np.uint16) + GF_LOG_U8[b].astype(np.uint16)
+    ]
+    return np.where((a == 0) | (b == 0), np.uint8(0), product)
+
+
+def gf_scale_array(coefficient: int, vector: np.ndarray) -> np.ndarray:
+    """GF(256) scalar-times-vector, the Reed-Solomon inner-loop shape."""
+    _check(coefficient)
+    vector = np.asarray(vector, dtype=np.uint8)
+    if coefficient == 0:
+        return np.zeros_like(vector)
+    log_c = np.uint16(_LOG[coefficient])
+    product = GF_EXP_U8[GF_LOG_U8[vector].astype(np.uint16) + log_c]
+    return np.where(vector == 0, np.uint8(0), product)
 
 
 def gf_dot(row: Sequence[int], column: Sequence[int]) -> int:

@@ -1,0 +1,34 @@
+"""Batched bit-level primitives shared by the columnar fast paths.
+
+Both the columnar record analytics (:mod:`repro.analysis.columnar`) and
+the batched detector kernels (:mod:`repro.detectors.batch`) count set
+bits over whole uint64 columns; this module holds the one
+implementation they share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["popcount_u64"]
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a uint64 array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - NumPy < 2.0 fallback
+
+    def popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a uint64 array (SWAR fallback)."""
+        v = np.array(words, dtype=np.uint64, copy=True)
+        m1 = np.uint64(0x5555555555555555)
+        m2 = np.uint64(0x3333333333333333)
+        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = np.uint64(0x0101010101010101)
+        v -= (v >> np.uint64(1)) & m1
+        v = (v & m2) + ((v >> np.uint64(2)) & m2)
+        v = (v + (v >> np.uint64(4))) & m4
+        return ((v * h01) >> np.uint64(56)).astype(np.uint8)

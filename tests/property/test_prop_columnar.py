@@ -1,0 +1,149 @@
+"""Property: columnar kernels are bit-identical to the scalar path.
+
+Hypothesis builds random corpora — random setting shapes, dtype
+assignments, mask-reuse rates, seeds — and every frame kernel must
+reproduce the per-record modules exactly: the same histogram counts,
+the same proportion doubles, the same precision summaries.  Batched
+SECDED decode must match the scalar decoder codeword-by-codeword under
+arbitrary flip masks.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bitflips import (
+    bitflip_histogram,
+    flip_count_distribution,
+    flip_direction_fraction,
+    pattern_proportions_by_setting,
+)
+from repro.analysis.columnar import (
+    RecordFrame,
+    bitflip_histogram_frame,
+    flip_count_distribution_frame,
+    flip_direction_fraction_frame,
+    pattern_proportions_by_setting_frame,
+    summarize_precision_frame,
+)
+from repro.analysis.precision import summarize_precision
+from repro.cpu import DataType, datatypes
+from repro.detectors.batch import Secded64Batch
+from repro.detectors.ecc import Secded64
+from repro.faults.bitflip import PositionBiasedBitflip, UniformBitflip
+from repro.rng import substream
+from repro.testing import RecordStore
+from repro.testing.records import SDCRecord
+
+DTYPES = tuple(DataType)
+
+
+def random_store(seed, records, processors, testcases, reuse):
+    """Random corpus; float64x masks stay fraction-confined (the scalar
+    x87 decoder refuses exponent flips, matching the paper's data)."""
+    rng = substream(seed, "prop-columnar-corpus")
+    f64x_model = PositionBiasedBitflip(fraction_bias=1.0)
+    uniform = UniformBitflip()
+    setting_state = {}
+    store = RecordStore()
+    for row in range(records):
+        key = (int(rng.integers(processors)), int(rng.integers(testcases)))
+        if key not in setting_state:
+            dtype = DTYPES[int(rng.integers(len(DTYPES)))]
+            model = f64x_model if dtype is DataType.FLOAT64X else uniform
+            setting_state[key] = (
+                dtype,
+                model,
+                [model.sample_mask(dtype, rng) for _ in range(2)],
+            )
+        dtype, model, masks = setting_state[key]
+        if rng.random() < reuse:
+            mask = masks[int(rng.integers(len(masks)))]
+        else:
+            mask = model.sample_mask(dtype, rng)
+        expected = datatypes.encode(datatypes.random_value(rng, dtype), dtype)
+        store.add(
+            SDCRecord(
+                processor_id=f"P{key[0]}",
+                testcase_id=f"t{key[1]}",
+                pcore_id=0,
+                defect_id=f"d{key[0]}",
+                instruction="FMA",
+                dtype=dtype,
+                expected_bits=expected,
+                actual_bits=expected ^ mask,
+                temperature_c=78.0,
+                time_s=float(row),
+            )
+        )
+    return store
+
+
+corpus_shapes = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=0, max_value=400),  # records (0 = empty corpus)
+    st.integers(min_value=1, max_value=6),  # processors
+    st.integers(min_value=1, max_value=4),  # testcases
+    st.floats(min_value=0.0, max_value=1.0),  # mask reuse rate
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=corpus_shapes, data=st.data())
+def test_frame_kernels_match_scalar_on_random_corpora(shape, data):
+    store = random_store(*shape)
+    frame = RecordFrame.from_store(store)
+
+    dtype = data.draw(st.sampled_from(DTYPES), label="dtype")
+    assert bitflip_histogram_frame(frame, dtype) == bitflip_histogram(
+        store.records, dtype
+    )
+    pattern_only = data.draw(st.booleans(), label="pattern_only")
+    assert flip_count_distribution_frame(
+        frame, dtype, pattern_only=pattern_only
+    ) == flip_count_distribution(store, dtype, pattern_only=pattern_only)
+    if dtype.is_numeric:
+        assert summarize_precision_frame(frame, dtype) == summarize_precision(
+            store.records, dtype
+        )
+
+    assert flip_direction_fraction_frame(frame) == flip_direction_fraction(
+        store.records
+    )
+    min_records = data.draw(
+        st.integers(min_value=1, max_value=12), label="min_records"
+    )
+    assert pattern_proportions_by_setting_frame(
+        frame, min_records=min_records
+    ) == pattern_proportions_by_setting(store, min_records=min_records)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    flips=st.integers(min_value=0, max_value=6),
+    with_truth=st.booleans(),
+)
+def test_secded_batch_matches_scalar_decoder(seed, flips, with_truth):
+    rng = np.random.default_rng(seed)
+    n = 64
+    words = rng.integers(0, 1 << 63, size=n, dtype=np.uint64) | (
+        rng.integers(0, 2, size=n, dtype=np.uint64) << np.uint64(63)
+    )
+    lo, hi = Secded64Batch.encode(words)
+    for i in range(n):
+        for bit in rng.integers(0, 72, size=flips):
+            bit = int(bit)
+            if bit < 64:
+                lo[i] ^= np.uint64(1 << bit)
+            else:
+                hi[i] ^= np.uint64(1 << (bit - 64))
+    truth = words if with_truth else None
+    statuses, decoded = Secded64Batch.decode(lo, hi, true_data=truth)
+    for i in range(n):
+        codeword = (int(hi[i]) << 64) | int(lo[i])
+        expected = Secded64.decode(
+            codeword, true_data=int(words[i]) if with_truth else None
+        )
+        assert Secded64Batch.STATUSES[statuses[i]] is expected.status
+        assert int(decoded[i]) == expected.data
