@@ -32,6 +32,7 @@ Usage::
 
 import argparse
 import json
+import logging
 import platform
 import sys
 import time
@@ -55,9 +56,12 @@ from repro.analysis.columnar import flip_direction_fraction_frame
 from repro.analysis.corpus_cache import CorpusCache
 from repro.cpu import DataType, datatypes
 from repro.faults.bitflip import PositionBiasedBitflip, UniformBitflip
+from repro.obs import logging_setup
 from repro.rng import substream
 from repro.testing import RecordStore
 from repro.testing.records import SDCRecord
+
+logger = logging.getLogger("repro.bench.perf_analysis")
 
 CACHE_DIR = Path(__file__).resolve().parent / ".corpus_cache"
 
@@ -285,6 +289,7 @@ def main(argv=None) -> int:
         / "BENCH_analysis.json",
     )
     args = parser.parse_args(argv)
+    logging_setup(verbose=1)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
@@ -304,12 +309,11 @@ def main(argv=None) -> int:
         f"({report['speedup_with_frame_build']:.1f}x incl. frame build, "
         f"parity exact)"
     )
-    print(f"wrote {args.out}")
+    logger.info("wrote %s", args.out)
     if args.min_speedup > 0.0 and report["speedup"] < args.min_speedup:
-        print(
-            f"FAIL: columnar speedup {report['speedup']:.2f}x below gate "
-            f"{args.min_speedup:.2f}x",
-            file=sys.stderr,
+        logger.error(
+            "FAIL: columnar speedup %.2fx below gate %.2fx",
+            report["speedup"], args.min_speedup,
         )
         return 1
     return 0

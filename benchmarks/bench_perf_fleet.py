@@ -29,6 +29,7 @@ Usage::
 
 import argparse
 import json
+import logging
 import platform
 import sys
 import time
@@ -44,8 +45,11 @@ from repro.fleet import (
     VectorizedTestPipeline,
     generate_fleet,
 )
+from repro.obs import logging_setup
 from repro.perf.parallel import default_workers
 from repro.testing import build_library
+
+logger = logging.getLogger("repro.bench.perf_fleet")
 
 
 def _detection_key(detection):
@@ -192,6 +196,7 @@ def main(argv=None) -> int:
         / "BENCH_parallel.json",
     )
     args = parser.parse_args(argv)
+    logging_setup(verbose=1)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
@@ -214,15 +219,15 @@ def main(argv=None) -> int:
         f"({parallel_report['environment']['effective_cores']} effective "
         f"cores, parity exact)"
     )
-    print(f"wrote {args.out} and {args.parallel_out}")
+    logger.info("wrote %s and %s", args.out, args.parallel_out)
     cores = parallel_report["environment"]["effective_cores"]
     if args.min_parallel_speedup > 0.0 and cores >= 4:
         if parallel_report["parallel_speedup"] < args.min_parallel_speedup:
-            print(
-                f"FAIL: parallel speedup "
-                f"{parallel_report['parallel_speedup']:.2f}x below gate "
-                f"{args.min_parallel_speedup:.2f}x on {cores} cores",
-                file=sys.stderr,
+            logger.error(
+                "FAIL: parallel speedup %.2fx below gate %.2fx on %d cores",
+                parallel_report["parallel_speedup"],
+                args.min_parallel_speedup,
+                cores,
             )
             return 1
     return 0

@@ -1,0 +1,233 @@
+"""Telemetry overhead benchmark: instrumented vs disabled campaigns.
+
+Runs the same seeded staged test campaign through the
+``VectorizedTestPipeline`` twice — once with telemetry disabled
+(``obs=None``, the production default) and once with a full
+:class:`~repro.obs.Observability` context writing metrics and a trace —
+and asserts the two runs are bit-identical (same detections, same
+undetected set, same final RNG stream position).
+
+Two overhead numbers go into ``BENCH_obs.json``:
+
+* ``enabled_overhead`` — measured wall-clock ratio of the instrumented
+  run over the disabled run, informational only (it includes real sink
+  I/O and is expected to be nonzero).
+* ``null_overhead`` — the *gated* number: the estimated cost of the
+  disabled telemetry path.  When ``obs is None`` every instrumentation
+  site reduces to a single pointer check, so the benchmark times that
+  probe in a microbench (``null_probe_ns``), counts how many guard
+  sites the campaign actually executes (every emitted trace record
+  plus two checks per instrumented range), and expresses
+  ``probes * probe_cost`` as a fraction of the disabled campaign time.
+  ``--max-null-overhead`` (default 3%) fails the run if the disabled
+  path could account for more than that fraction — the "provably
+  zero-cost when disabled" guard from the observability PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_obs.py
+    PYTHONPATH=src python benchmarks/bench_perf_obs.py \
+        --processors 5000 --scale 10 --repeats 1 --out /tmp/smoke.json
+"""
+
+import argparse
+import json
+import logging
+import platform
+import sys
+import tempfile
+import time
+import timeit
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.trigger import TriggerModel
+from repro.fleet import FleetSpec, VectorizedTestPipeline, generate_fleet
+from repro.obs import Observability, logging_setup, read_trace
+from repro.testing import build_library
+
+logger = logging.getLogger("repro.bench.perf_obs")
+
+
+def _detection_key(detection):
+    return (
+        detection.processor_id,
+        detection.arch_name,
+        detection.stage_name,
+        detection.day,
+        detection.failing_testcase_ids,
+    )
+
+
+def _null_probe_ns() -> float:
+    """Cost of one disabled-telemetry guard (``if obs is not None``).
+
+    Measured as the per-iteration delta between a loop carrying the
+    pointer check and the same loop without it, so loop bookkeeping
+    cancels out.  Clamped at a conservative floor of 1 ns because the
+    delta of two fast loops can jitter below zero.
+    """
+    probe = min(
+        timeit.repeat(
+            "if obs is not None:\n    raise AssertionError",
+            setup="obs = None",
+            number=1_000_000,
+            repeat=5,
+        )
+    )
+    baseline = min(
+        timeit.repeat("pass", number=1_000_000, repeat=5)
+    )
+    return max((probe - baseline) * 1e9 / 1_000_000, 1.0)
+
+
+def run(args: argparse.Namespace) -> dict:
+    spec = FleetSpec(
+        total_processors=args.processors,
+        failure_rate_scale=args.scale,
+        seed=args.fleet_seed,
+    )
+    fleet = generate_fleet(spec)
+    library = build_library()
+
+    disabled_s = float("inf")
+    disabled_result = None
+    disabled_position = None
+    for _ in range(args.repeats):
+        engine = VectorizedTestPipeline(
+            fleet, library, trigger_model=TriggerModel(), seed=args.seed
+        )
+        start = time.perf_counter()
+        disabled_result = engine.run()
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+        disabled_position = engine._scalar._stream.consumed
+
+    enabled_s = float("inf")
+    enabled_result = None
+    enabled_position = None
+    trace_records = 0
+    cpus_total = 0.0
+    with tempfile.TemporaryDirectory() as tmp:
+        for index in range(args.repeats):
+            metrics_path = Path(tmp) / f"metrics-{index}.prom"
+            trace_path = Path(tmp) / f"trace-{index}.jsonl"
+            obs = Observability.create(metrics_path, trace_path)
+            engine = VectorizedTestPipeline(
+                fleet, library, trigger_model=TriggerModel(),
+                seed=args.seed, obs=obs,
+            )
+            start = time.perf_counter()
+            enabled_result = engine.run()
+            enabled_s = min(enabled_s, time.perf_counter() - start)
+            enabled_position = engine._scalar._stream.consumed
+            cpus_total = obs.metrics.total("repro_campaign_cpus_total")
+            ranges = int(obs.metrics.total("repro_campaign_range_seconds"))
+            obs.close()
+            # A bare engine.run() records metrics per range but opens no
+            # spans, so the lazy trace sink may never create the file.
+            trace_records = (
+                len(read_trace(trace_path, strict=True))
+                if trace_path.exists()
+                else 0
+            )
+            guard_sites = trace_records + 2 * ranges
+
+    disabled_keys = [_detection_key(d) for d in disabled_result.detections]
+    enabled_keys = [_detection_key(d) for d in enabled_result.detections]
+    assert disabled_keys == enabled_keys, (
+        "telemetry changed the campaign's detections"
+    )
+    assert disabled_result.undetected_ids == enabled_result.undetected_ids
+    assert disabled_position == enabled_position, (
+        "telemetry changed the RNG stream position"
+    )
+    assert cpus_total == len(fleet.faulty), (
+        "metrics lost campaign coverage"
+    )
+
+    probe_ns = _null_probe_ns()
+    null_overhead = (guard_sites * probe_ns * 1e-9) / disabled_s
+    enabled_overhead = enabled_s / disabled_s - 1.0
+
+    return {
+        "benchmark": "bench_perf_obs",
+        "fleet": {
+            "total_processors": spec.total_processors,
+            "failure_rate_scale": spec.failure_rate_scale,
+            "seed": spec.seed,
+            "faulty": len(fleet.faulty),
+        },
+        "pipeline_seed": args.seed,
+        "repeats": args.repeats,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "null_probe_ns": round(probe_ns, 2),
+        "trace_records": trace_records,
+        "guard_sites": guard_sites,
+        "null_overhead": round(null_overhead, 6),
+        "detections": len(disabled_keys),
+        "parity": "exact",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--processors", type=int, default=40_000)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=60.0,
+        help="failure_rate_scale densifying the faulty population",
+    )
+    parser.add_argument("--fleet-seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=11, help="pipeline seed")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--max-null-overhead", type=float, default=0.03,
+        help="fail if the disabled telemetry path could cost more than "
+             "this fraction of campaign wall-clock (parity is always "
+             "enforced)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
+    )
+    args = parser.parse_args(argv)
+    logging_setup(verbose=1)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = run(args)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"disabled {report['disabled_s']:.3f}s  "
+        f"enabled {report['enabled_s']:.3f}s  "
+        f"enabled overhead {report['enabled_overhead'] * 100:.1f}%  "
+        f"({report['detections']} detections, parity exact)"
+    )
+    print(
+        f"null path: {report['guard_sites']} guard sites x "
+        f"{report['null_probe_ns']:.0f}ns = "
+        f"{report['null_overhead'] * 100:.4f}% of disabled wall-clock"
+    )
+    logger.info("wrote %s", args.out)
+    if report["null_overhead"] > args.max_null_overhead:
+        logger.error(
+            "FAIL: null-sink overhead %.4f%% exceeds gate %.2f%%",
+            report["null_overhead"] * 100,
+            args.max_null_overhead * 100,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

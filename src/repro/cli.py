@@ -9,17 +9,50 @@ Exposes the study's headline experiments without writing any code:
 * ``detectors``      — Observation 12's fault-tolerance comparison
 * ``salvage``        — fail-in-place capacity accounting
 * ``resume``         — continue a checkpointed fleet study
+* ``obs-report``     — summarize/validate telemetry artifacts
+
+Every command accepts the shared observability flags (``--metrics-out``,
+``--trace-out``, ``-v``, ``--log-level``); stdout stays reserved for
+machine-readable results, diagnostics go to stderr via ``logging``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import List, Optional
 
 from . import __version__
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger(__name__)
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write campaign metrics here on exit "
+             "(.json → canonical JSON container, else Prometheus text)",
+    )
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a JSONL span/event trace of the run here",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="stderr diagnostic verbosity (-v INFO, -vv DEBUG)",
+    )
+    group.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="explicit stderr log level name (overrides -v)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,9 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fleet = sub.add_parser("fleet-study", help="run the fleet measurement study")
+    fleet = sub.add_parser(
+        "fleet-study", parents=[obs],
+        help="run the fleet measurement study",
+    )
     fleet.add_argument(
         "--size", type=int, default=300_000,
         help="fleet size (default 300k; the paper used >1M)",
@@ -65,9 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="faulty CPUs per shard, the checkpoint/retry granule",
     )
 
-    sub.add_parser("catalog", help="list the 27 studied faulty processors")
+    sub.add_parser(
+        "catalog", parents=[obs],
+        help="list the 27 studied faulty processors",
+    )
 
-    test = sub.add_parser("test", help="run the toolchain against a catalog CPU")
+    test = sub.add_parser(
+        "test", parents=[obs],
+        help="run the toolchain against a catalog CPU",
+    )
     test.add_argument("cpu", help="catalog name, e.g. MIX1")
     test.add_argument(
         "--duration", type=float, default=60.0,
@@ -79,19 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     protect = sub.add_parser(
-        "protect", help="Farron online-protection demo (MIX1)"
+        "protect", parents=[obs],
+        help="Farron online-protection demo (MIX1)",
     )
     protect.add_argument("--hours", type=float, default=24.0)
 
-    sub.add_parser("detectors", help="Observation 12 detector comparison")
+    sub.add_parser(
+        "detectors", parents=[obs],
+        help="Observation 12 detector comparison",
+    )
 
     salvage = sub.add_parser(
-        "salvage", help="fail-in-place capacity accounting"
+        "salvage", parents=[obs],
+        help="fail-in-place capacity accounting",
     )
     salvage.add_argument("--size", type=int, default=300_000)
 
     resume = sub.add_parser(
-        "resume",
+        "resume", parents=[obs],
         help="continue a checkpointed fleet study from its newest snapshot",
     )
     resume.add_argument(
@@ -102,6 +150,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes when the checkpointed engine is parallel "
              "(default: usable CPUs per scheduler affinity)",
+    )
+
+    report = sub.add_parser(
+        "obs-report", parents=[obs],
+        help="summarize --metrics-out/--trace-out artifacts",
+    )
+    report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="metrics artifact to load (JSON container or Prometheus text)",
+    )
+    report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="JSONL trace artifact to load",
+    )
+    report.add_argument(
+        "--check", action="store_true",
+        help="validate artifact schemas/self-checks instead of rendering "
+             "(CI mode: exit 1 and list violations on any problem)",
     )
     return parser
 
@@ -127,7 +193,7 @@ def _print_fleet_tables(campaign) -> None:
     ))
 
 
-def _cmd_fleet_study(args) -> int:
+def _cmd_fleet_study(args, obs=None) -> int:
     from .resilience import CampaignSpec, CheckpointStore, ResilientCampaign
     from .testing import build_library
 
@@ -148,18 +214,20 @@ def _cmd_fleet_study(args) -> int:
         checkpoint_store=store,
         checkpoint_every=args.checkpoint_every,
         workers=args.workers,
+        obs=obs,
     )
     result = campaign.run()
     _print_fleet_tables(result)
+    logger.info("campaign health: %s", campaign.health.summary())
     if store is not None:
-        print()
-        print(f"campaign health: {campaign.health.summary()}")
-        print(f"snapshots in {store.directory} "
-              f"(continue with: repro resume {store.directory})")
+        logger.info(
+            "snapshots in %s (continue with: repro resume %s)",
+            store.directory, store.directory,
+        )
     return 0
 
 
-def _cmd_resume(args) -> int:
+def _cmd_resume(args, obs=None) -> int:
     from .errors import ReproError
     from .resilience import CheckpointStore, ResilientCampaign
     from .testing import build_library
@@ -167,21 +235,22 @@ def _cmd_resume(args) -> int:
     store = CheckpointStore(args.checkpoint_dir)
     try:
         campaign = ResilientCampaign.resume(
-            store, build_library(), workers=args.workers
+            store, build_library(), workers=args.workers, obs=obs
         )
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
-    print(f"resuming at cursor {campaign.cursor} of "
-          f"{len(campaign.population.faulty)} faulty CPUs")
+    logger.info(
+        "resuming at cursor %d of %d faulty CPUs",
+        campaign.cursor, len(campaign.population.faulty),
+    )
     result = campaign.run()
     _print_fleet_tables(result)
-    print()
-    print(f"campaign health: {campaign.health.summary()}")
+    logger.info("campaign health: %s", campaign.health.summary())
     return 0
 
 
-def _cmd_catalog(args) -> int:
+def _cmd_catalog(args, obs=None) -> int:
     from .analysis import render_table
     from .cpu import full_catalog
 
@@ -204,7 +273,7 @@ def _cmd_catalog(args) -> int:
     return 0
 
 
-def _cmd_test(args) -> int:
+def _cmd_test(args, obs=None) -> int:
     from .cpu import catalog_processor
     from .errors import ReproError
     from .testing import TestFramework, build_library
@@ -214,7 +283,7 @@ def _cmd_test(args) -> int:
     try:
         processor = catalog_processor(args.cpu)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        logger.error("error: %s", error)
         return 2
     plan = framework.equal_allocation_plan(args.duration)
     plan.preheat_to_c = args.preheat
@@ -228,7 +297,7 @@ def _cmd_test(args) -> int:
     return 0
 
 
-def _cmd_protect(args) -> int:
+def _cmd_protect(args, obs=None) -> int:
     from .core import ApplicationProfile, simulate_online
     from .cpu import Feature, catalog_processor
     from .testing import build_library
@@ -244,11 +313,11 @@ def _cmd_protect(args) -> int:
     )
     unprotected = simulate_online(
         mix1, app, hours=args.hours, protected=False, library=library,
-        dt_s=5.0,
+        dt_s=5.0, obs=obs,
     )
     protected = simulate_online(
         mix1, app, hours=args.hours, protected=True, library=library,
-        dt_s=5.0,
+        dt_s=5.0, obs=obs,
     )
     print(f"MIX1, {args.hours:.0f} simulated hours:")
     print(f"  unprotected: {unprotected.sdc_count} SDCs "
@@ -259,7 +328,7 @@ def _cmd_protect(args) -> int:
     return 0
 
 
-def _cmd_detectors(args) -> int:
+def _cmd_detectors(args, obs=None) -> int:
     from .detectors import (
         an_code_experiment,
         checksum_timing_experiment,
@@ -285,12 +354,12 @@ def _cmd_detectors(args) -> int:
     return 0
 
 
-def _cmd_salvage(args) -> int:
+def _cmd_salvage(args, obs=None) -> int:
     from .fleet import FleetSpec, TestPipeline, generate_fleet, salvage_study
     from .testing import build_library
 
     fleet = generate_fleet(FleetSpec(total_processors=args.size, seed=1))
-    campaign = TestPipeline(fleet, build_library(), seed=1).run()
+    campaign = TestPipeline(fleet, build_library(), seed=1, obs=obs).run()
     detected_ids = {d.processor_id for d in campaign.detections}
     report = salvage_study(
         [p for p in fleet.faulty if p.processor_id in detected_ids]
@@ -302,6 +371,29 @@ def _cmd_salvage(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args, obs=None) -> int:
+    from .errors import ObservabilityError
+    from .obs import check_artifacts, render_report
+
+    if args.metrics is None and args.trace is None:
+        logger.error("error: obs-report needs --metrics and/or --trace")
+        return 2
+    if args.check:
+        problems = check_artifacts(args.metrics, args.trace)
+        for problem in problems:
+            print(f"violation: {problem}")
+        if problems:
+            return 1
+        print("ok: telemetry artifacts validate")
+        return 0
+    try:
+        print(render_report(args.metrics, args.trace))
+    except ObservabilityError as error:
+        logger.error("error: %s", error)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "fleet-study": _cmd_fleet_study,
     "catalog": _cmd_catalog,
@@ -310,9 +402,37 @@ _COMMANDS = {
     "detectors": _cmd_detectors,
     "salvage": _cmd_salvage,
     "resume": _cmd_resume,
+    "obs-report": _cmd_obs_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .obs import logging_setup
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        logging_setup(args.log_level, verbose=args.verbose)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    observability = None
+    if args.metrics_out is not None or args.trace_out is not None:
+        from .obs import Observability
+
+        observability = Observability.create(
+            args.metrics_out, args.trace_out
+        )
+    try:
+        return _COMMANDS[args.command](args, observability)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `... | head`) went away mid-report;
+        # detach stdout so interpreter shutdown doesn't re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        if observability is not None:
+            observability.close()
+            if args.metrics_out is not None:
+                logger.info("metrics written to %s", args.metrics_out)
+            if args.trace_out is not None:
+                logger.info("trace written to %s", args.trace_out)

@@ -46,6 +46,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.context import span
 from ..cpu.processor import Processor
 from ..faults.trigger import TriggerModel
 from ..rng import substream
@@ -117,6 +118,7 @@ def simulate_online_batch(
     dt_s: float = 5.0,
     seed: int = 0,
     control: str = "backoff",
+    obs=None,
 ) -> List[OnlineSimulationResult]:
     """Batch of :func:`simulate_online` runs, bit-identical per lane.
 
@@ -152,7 +154,7 @@ def simulate_online_batch(
             simulate_online(
                 processor, app, hours=hours, protected=protected,
                 farron=farron, trigger=trigger, dt_s=dt_s, seed=seed,
-                control=control,
+                control=control, obs=obs,
             )
             for processor, app in zip(processors, apps)
         ]
@@ -252,98 +254,118 @@ def simulate_online_batch(
     window_slots = np.arange(window)[None, :]
 
     steps = int(hours * 3_600.0 / dt_s)
-    for step in range(steps):
-        time_s = step * dt_s
-        requested = requested_at(time_s)
-        if np.any(requested < 0.0) or np.any(requested > 1.0):
-            raise ConfigurationError(
-                "requested_utilization must be in [0, 1]"
+    engagements = 0
+    track = obs is not None
+    with span(
+        obs, "online.simulate_batch", lanes=n, steps=steps,
+        protected=protected, control=control, mode="batch",
+    ):
+        for step in range(steps):
+            time_s = step * dt_s
+            requested = requested_at(time_s)
+            if np.any(requested < 0.0) or np.any(requested > 1.0):
+                raise ConfigurationError(
+                    "requested_utilization must be in [0, 1]"
+                )
+            hottest = thermal.max_core_temp(active_mask)
+            if protected:
+                if not np.all(np.isfinite(hottest)):
+                    raise ConfigurationError("temperature_c must be finite")
+                # BackoffController.step, lane-parallel.  Branches follow
+                # the *entry* backing state: a lane releasing this step
+                # records nothing, exactly like the scalar if/else.
+                entry_backing = backing.copy()
+                release = (
+                    entry_backing
+                    & (hottest <= boundary_c)
+                    & (total_seconds - episode_start >= hold_s)
+                )
+                backing[release] = False
+                feed = ~entry_backing
+                if np.any(feed):
+                    # AdaptiveTemperatureBoundary.record for feed lanes.
+                    slot = sample_count % window
+                    records[feed, slot[feed]] = hottest[feed]
+                    sample_count[feed] += 1
+                    win_len = np.minimum(sample_count, window)
+                    over = feed & (hottest > boundary_c)
+                    if np.any(over):
+                        valid = window_slots < win_len[:, None]
+                        exceed = (
+                            (records > boundary_c[:, None]) & valid
+                        ).sum(axis=1)
+                        vote_raise = over & (
+                            exceed > vote_fraction * win_len
+                        )
+                        boundary_c[vote_raise] = np.minimum(
+                            boundary_c[vote_raise] + step_c, hard_cap
+                        )
+                        warm_snap = (
+                            over
+                            & ~vote_raise
+                            & (sample_count <= warmup_samples)
+                        )
+                        boundary_c[warm_snap] = np.minimum(
+                            hottest[warm_snap] + snap_margin, hard_cap
+                        )
+                        entered = over & ~vote_raise & ~warm_snap
+                        backing[entered] = True
+                        episode_start[entered] = total_seconds
+                        if track:
+                            engagements += int(np.count_nonzero(entered))
+                total_seconds += dt_s
+                backoff_seconds[backing] += dt_s
+                granted = np.where(
+                    backing,
+                    np.minimum(requested, backoff_utilization),
+                    requested,
+                )
+            else:
+                granted = requested
+            powers = np.where(
+                active_mask, ((granted * heat) * budget)[:, None], 0.0
             )
-        hottest = thermal.max_core_temp(active_mask)
-        if protected:
-            if not np.all(np.isfinite(hottest)):
-                raise ConfigurationError("temperature_c must be finite")
-            # BackoffController.step, lane-parallel.  Branches follow
-            # the *entry* backing state: a lane releasing this step
-            # records nothing, exactly like the scalar if/else.
-            entry_backing = backing.copy()
-            release = (
-                entry_backing
-                & (hottest <= boundary_c)
-                & (total_seconds - episode_start >= hold_s)
+            thermal.step(dt_s, powers)
+            np.maximum(
+                max_temp, thermal.max_core_temp(active_mask), out=max_temp
             )
-            backing[release] = False
-            feed = ~entry_backing
-            if np.any(feed):
-                # AdaptiveTemperatureBoundary.record for feed lanes.
-                slot = sample_count % window
-                records[feed, slot[feed]] = hottest[feed]
-                sample_count[feed] += 1
-                win_len = np.minimum(sample_count, window)
-                over = feed & (hottest > boundary_c)
-                if np.any(over):
-                    valid = window_slots < win_len[:, None]
-                    exceed = (
-                        (records > boundary_c[:, None]) & valid
-                    ).sum(axis=1)
-                    vote_raise = over & (
-                        exceed > vote_fraction * win_len
-                    )
-                    boundary_c[vote_raise] = np.minimum(
-                        boundary_c[vote_raise] + step_c, hard_cap
-                    )
-                    warm_snap = (
-                        over
-                        & ~vote_raise
-                        & (sample_count <= warmup_samples)
-                    )
-                    boundary_c[warm_snap] = np.minimum(
-                        hottest[warm_snap] + snap_margin, hard_cap
-                    )
-                    entered = over & ~vote_raise & ~warm_snap
-                    backing[entered] = True
-                    episode_start[entered] = total_seconds
-            total_seconds += dt_s
-            backoff_seconds[backing] += dt_s
-            granted = np.where(
-                backing,
-                np.minimum(requested, backoff_utilization),
-                requested,
-            )
-        else:
-            granted = requested
-        powers = np.where(
-            active_mask, ((granted * heat) * budget)[:, None], 0.0
-        )
-        thermal.step(dt_s, powers)
-        np.maximum(
-            max_temp, thermal.max_core_temp(active_mask), out=max_temp
-        )
-        # -- SDC sampling: vectorized gate, scalar math on survivors ------
-        if len(e_rows):
-            usage_e = e_usage_base * granted[e_lane]
-            temps = thermal.core_temps()
-            temp_e = temps[e_lane, e_core]
-            passing = (
-                (usage_e > 0.0)
-                & (usage_e >= usage_floor)
-                & (temp_e >= e_tmin)
-            )
-            for index in np.flatnonzero(passing):
-                # TriggerModel.occurrence_frequency with scalar libm
-                # transcendentals (the scalar path's exact op order).
-                usage = float(usage_e[index])
-                ramp = min(float(temp_e[index]) - float(e_tmin[index]),
-                           ramp_cap)
-                log10_freq = e_l0[index] + e_slope[index] * ramp
-                stress = (usage / reference) ** e_sexp[index]
-                freq = (10.0 ** log10_freq) * stress * e_mult[index]
-                mean = min(freq, max_freq) * dt_s / 60.0
-                if mean <= 0.0:
-                    continue
-                lane = int(e_lane[index])
-                sdc_count[lane] += int(rngs[lane].poisson(mean))
+            # -- SDC sampling: vectorized gate, scalar math on survivors ------
+            if len(e_rows):
+                usage_e = e_usage_base * granted[e_lane]
+                temps = thermal.core_temps()
+                temp_e = temps[e_lane, e_core]
+                passing = (
+                    (usage_e > 0.0)
+                    & (usage_e >= usage_floor)
+                    & (temp_e >= e_tmin)
+                )
+                for index in np.flatnonzero(passing):
+                    # TriggerModel.occurrence_frequency with scalar libm
+                    # transcendentals (the scalar path's exact op order).
+                    usage = float(usage_e[index])
+                    ramp = min(float(temp_e[index]) - float(e_tmin[index]),
+                               ramp_cap)
+                    log10_freq = e_l0[index] + e_slope[index] * ramp
+                    stress = (usage / reference) ** e_sexp[index]
+                    freq = (10.0 ** log10_freq) * stress * e_mult[index]
+                    mean = min(freq, max_freq) * dt_s / 60.0
+                    if mean <= 0.0:
+                        continue
+                    lane = int(e_lane[index])
+                    sdc_count[lane] += int(rngs[lane].poisson(mean))
 
+    if obs is not None:
+        obs.inc("repro_online_steps_total", steps * n, mode="batch")
+        obs.inc("repro_online_sdc_total", sum(sdc_count), mode="batch")
+        obs.inc(
+            "repro_thermal_substeps_total", thermal.substeps, mode="batch"
+        )
+        if protected:
+            obs.inc(
+                "repro_online_backoff_engagements_total",
+                engagements,
+                mode="batch",
+            )
     return [
         OnlineSimulationResult(
             processor_id=processors[lane].processor_id,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.context import span
 from ..rng import derive_seed, substream
 from ..cpu.features import Feature
 from ..cpu.processor import Processor
@@ -195,6 +196,7 @@ def coverage_sweep(
     retries: int = 0,
     timeout_s: Optional[float] = None,
     health=None,
+    obs=None,
 ) -> List[CoverageResult]:
     """Figure 11 across many processors, process-parallel and supervised.
 
@@ -234,6 +236,7 @@ def coverage_sweep(
         retries=retries,
         timeout_s=timeout_s,
         health=health,
+        obs=obs,
     )
 
 
@@ -270,6 +273,7 @@ def simulate_online(
     dt_s: float = 5.0,
     seed: int = 0,
     control: str = "backoff",
+    obs=None,
 ) -> OnlineSimulationResult:
     """Run the application on the processor, with or without Farron.
 
@@ -315,6 +319,62 @@ def simulate_online(
     sdc_count = 0
     max_temp = thermal.package_temp
     steps = int(hours * 3_600.0 / dt_s)
+    with span(
+        obs,
+        "online.simulate",
+        processor=processor.processor_id,
+        app=app.name,
+        mode="scalar",
+        protected=protected,
+        control=control,
+        steps=steps,
+    ):
+        sdc_count, max_temp = _online_step_loop(
+            steps, dt_s, app, cores, thermal, boundary, controller,
+            cooling, protected, processor, trigger, setting_key, heat,
+            rng, max_temp,
+        )
+    if obs is not None:
+        obs.inc("repro_online_steps_total", steps, mode="scalar")
+        obs.inc("repro_online_sdc_total", sdc_count, mode="scalar")
+        if protected and cooling is None:
+            # An engagement is one entry into backoff: the completed
+            # episodes plus the one still open at simulation end.
+            engagements = len(controller.episodes) + (
+                1 if controller.backing_off else 0
+            )
+            obs.inc(
+                "repro_online_backoff_engagements_total",
+                engagements,
+                mode="scalar",
+            )
+    backoff_seconds = (
+        controller.backoff_seconds
+        if protected and cooling is None
+        else 0.0
+    )
+    return OnlineSimulationResult(
+        processor_id=processor.processor_id,
+        app_name=app.name,
+        protected=protected,
+        hours=hours,
+        sdc_count=sdc_count,
+        backoff_seconds=backoff_seconds,
+        final_boundary_c=boundary.boundary_c,
+        max_temp_c=max_temp,
+    )
+
+
+def _online_step_loop(
+    steps, dt_s, app, cores, thermal, boundary, controller, cooling,
+    protected, processor, trigger, setting_key, heat, rng, max_temp,
+):
+    """The hot per-step loop of :func:`simulate_online`, unchanged.
+
+    Hoisted out of the instrumented wrapper so the loop body carries
+    zero telemetry branches — all counters are derived after the run.
+    """
+    sdc_count = 0
     for step in range(steps):
         time_s = step * dt_s
         requested = app.requested_utilization(time_s)
@@ -355,21 +415,7 @@ def simulate_online(
                     sdc_count += trigger.sample_errors(
                         defect, setting_key, temp, usage, core, dt_s, rng
                     )
-    backoff_seconds = (
-        controller.backoff_seconds
-        if protected and cooling is None
-        else 0.0
-    )
-    return OnlineSimulationResult(
-        processor_id=processor.processor_id,
-        app_name=app.name,
-        protected=protected,
-        hours=hours,
-        sdc_count=sdc_count,
-        backoff_seconds=backoff_seconds,
-        final_boundary_c=boundary.boundary_c,
-        max_temp_c=max_temp,
-    )
+    return sdc_count, max_temp
 
 
 @dataclass

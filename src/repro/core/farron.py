@@ -73,10 +73,15 @@ class Farron:
         library: TestcaseLibrary,
         framework: Optional[TestFramework] = None,
         config: Optional[FarronConfig] = None,
+        obs=None,
     ):
         self.library = library
         self.framework = framework or TestFramework(library)
         self.config = config or FarronConfig()
+        #: Optional :class:`repro.obs.Observability`: counts test rounds
+        #: and their simulated durations (pre-production / regular /
+        #: targeted) plus the scheduled windows of each regular plan.
+        self.obs = obs
         self.priorities = PriorityDatabase()
         self.pool = ReliableResourcePool()
         self.scheduler = FarronScheduler(
@@ -84,6 +89,16 @@ class Farron:
         )
         self._boundaries: Dict[str, AdaptiveTemperatureBoundary] = {}
         self._controllers: Dict[str, BackoffController] = {}
+
+    def _record_round(self, kind: str, report: ToolchainReport) -> None:
+        if self.obs is None:
+            return
+        self.obs.inc("repro_farron_rounds_total", kind=kind)
+        self.obs.observe(
+            "repro_farron_round_sim_seconds",
+            report.total_duration_s,
+            kind=kind,
+        )
 
     # -- per-processor control-plane objects --------------------------------
 
@@ -117,6 +132,7 @@ class Farron:
         )
         plan.preheat_to_c = self.config.pre_production_preheat_c
         report = self.framework.execute(plan, processor)
+        self._record_round("pre_production", report)
         if not report.detected:
             return RoundOutcome(
                 processor.processor_id, report, ProcessorStatus.ONLINE
@@ -144,7 +160,10 @@ class Farron:
         plan = self.scheduler.regular_plan(
             processor_id, boundary.boundary_c, app_features
         )
+        if self.obs is not None:
+            self.obs.inc("repro_farron_windows_total", len(plan.entries))
         report = self.framework.execute(plan, entry.masked_processor())
+        self._record_round("regular", report)
         if not report.detected:
             return RoundOutcome(processor_id, report, entry.status)
         self.priorities.record_processor_detections(
@@ -164,6 +183,7 @@ class Farron:
         boundary = self.boundary_for(processor_id)
         plan = self.scheduler.targeted_plan(processor_id, boundary.boundary_c)
         targeted = self.framework.execute(plan, entry.masked_processor())
+        self._record_round("targeted", targeted)
         defective_cores: Set[int] = {
             record.pcore_id for record in targeted.store.records
         }

@@ -82,6 +82,17 @@ class CampaignAbortedError(ResilienceError):
     """A resilient campaign exhausted its restart/retry budget."""
 
 
+class ObservabilityError(ReproError):
+    """A metrics/tracing operation was misused (bad metric name, kind
+    mismatch, incompatible snapshot merge) or a telemetry artifact could
+    not be written or parsed."""
+
+
+class TraceCorruptError(ObservabilityError):
+    """A JSONL trace record failed its per-line CRC-32 self-check or
+    the file header is missing/incompatible."""
+
+
 class CoherenceError(SimulationError):
     """The cache-coherence simulator detected a protocol violation that is
     not attributable to an injected defect (i.e. a simulator bug)."""

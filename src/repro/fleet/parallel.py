@@ -43,10 +43,12 @@ vectorized engine, which is the identical-output slow path.
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple
 
+from ..obs.context import Observability, span
 from ..perf.parallel import DeterministicPool, default_workers
 from ..testing.library import TestcaseLibrary
 from .pipeline import FleetStudyResult, PipelineConfig
@@ -60,23 +62,49 @@ _KIND_DEGRADATION = "degradation"
 #: Per-worker engine, built once by the pool initializer so shard tasks
 #: carry only ``(start, stop)`` ranges instead of the population.
 _WORKER_CTX: Optional[VectorizedTestPipeline] = None
+#: Whether the parent campaign has telemetry enabled.  When true, each
+#: worker task records into a fresh per-task registry and ships the
+#: snapshot back with its result, so per-shard metrics survive the
+#: process boundary and merge exactly in the parent.
+_WORKER_OBS = False
 
 
-def _worker_init(population, library, config, trigger_model, seed) -> None:
-    global _WORKER_CTX
+def _worker_init(
+    population, library, config, trigger_model, seed, obs_enabled=False
+) -> None:
+    global _WORKER_CTX, _WORKER_OBS
     _WORKER_CTX = VectorizedTestPipeline(
         population, library, config, trigger_model, seed
     )
+    # Shards replayed in workers are this engine's parallel path; label
+    # their range metrics accordingly so per-engine totals stay exact.
+    _WORKER_CTX.obs_label = "parallel"
+    _WORKER_OBS = bool(obs_enabled)
 
 
 def _lower_shard(task: Tuple[int, int]):
-    """Phase 1: lower faulty CPUs ``[start, stop)`` to their block."""
+    """Phase 1: lower faulty CPUs ``[start, stop)`` to their block.
+
+    Returns ``(block, metrics_snapshot_or_None)``.
+    """
     start, stop = task
-    return _WORKER_CTX._lower_range(start, stop)
+    if not _WORKER_OBS:
+        return _WORKER_CTX._lower_range(start, stop), None
+    obs = Observability()
+    started = time.perf_counter()
+    block = _WORKER_CTX._lower_range(start, stop)
+    obs.inc("repro_parallel_tasks_total", phase="lower")
+    obs.observe(
+        "repro_parallel_lower_seconds", time.perf_counter() - started
+    )
+    return block, obs.metrics.snapshot()
 
 
 def _replay_shard(task):
-    """Phase 3: replay one scanned shard from its pinned draw position."""
+    """Phase 3: replay one scanned shard from its pinned draw position.
+
+    Returns ``(detections, undetected_ids, metrics_snapshot_or_None)``.
+    """
     start, stop, position, block = task
     engine = _WORKER_CTX
     engine._blocks[(start, stop)] = block
@@ -88,8 +116,19 @@ def _replay_shard(task):
         population_total=engine.population.total,
         arch_counts=dict(engine.population.arch_counts),
     )
-    engine.replay_range(start, stop, shard_result, stream)
-    return shard_result.detections, shard_result.undetected_ids
+    snapshot = None
+    if _WORKER_OBS:
+        obs = Observability()
+        obs.inc("repro_parallel_tasks_total", phase="replay")
+        engine.obs = obs
+        try:
+            engine.replay_range(start, stop, shard_result, stream)
+        finally:
+            engine.obs = None
+        snapshot = obs.metrics.snapshot()
+    else:
+        engine.replay_range(start, stop, shard_result, stream)
+    return shard_result.detections, shard_result.undetected_ids, snapshot
 
 
 class _PoolUnusable(Exception):
@@ -113,10 +152,11 @@ class ParallelTestPipeline:
         shard_size: Optional[int] = None,
         timeout_s: Optional[float] = None,
         health=None,
+        obs=None,
     ):
         self._setup(
             VectorizedTestPipeline(
-                population, library, config, trigger_model, seed
+                population, library, config, trigger_model, seed, obs=obs
             ),
             workers, shard_size, timeout_s, health,
         )
@@ -164,16 +204,21 @@ class ParallelTestPipeline:
         self.shard_size = shard_size
         self.timeout_s = timeout_s
         self.health = health
+        # Telemetry rides on the wrapped vectorized engine's context so
+        # ResilientCampaign's engine mixing shares one registry.
+        self.obs = engine.obs
         self._pool: Optional[DeterministicPool] = None
         # Workers rebuild the engine from the *resolved* config and
         # trigger model, so defaulted and explicit construction pickle
-        # the same objects.
+        # the same objects.  The obs flag makes workers record per-task
+        # registries and ship snapshots back with their results.
         self._init_payload = (
             engine.population,
             engine.library,
             engine.config,
             engine.trigger,
             self._scalar.seed,
+            engine.obs is not None,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -243,13 +288,32 @@ class ParallelTestPipeline:
         entry_draws = stream.consumed
         entry_detections = len(result.detections)
         entry_undetected = len(result.undetected_ids)
+        obs = self.obs
         try:
-            return self._run_parallel(shards, result)
+            with span(
+                obs, "parallel.run_range",
+                start=start, stop=stop,
+                shards=len(shards), workers=self.workers,
+            ):
+                return self._run_parallel(shards, result)
         except _PoolUnusable as error:
             if self.health is not None:
                 self.health.record(
                     _KIND_DEGRADATION,
                     f"parallel -> vectorized (in-process): {error}",
+                )
+            if obs is not None:
+                # Worker snapshots from the failed attempt were staged,
+                # not merged, so nothing double-counts; the in-process
+                # rerun below re-records the range under "vectorized",
+                # keeping the campaign's telemetry complete.
+                obs.inc(
+                    "repro_campaign_shards_total",
+                    len(shards), engine="parallel", outcome="degraded",
+                )
+                obs.tracer.event(
+                    "parallel.degraded",
+                    start=start, stop=stop, reason=str(error),
                 )
             # Rewind to the call's entry state and take the identical-
             # output serial path.
@@ -264,6 +328,12 @@ class ParallelTestPipeline:
         pool = self._ensure_pool()
         stream = self._scalar._stream
         schedule = self._vec._schedule()[0]
+        obs = self.obs
+        # Worker metric snapshots are *staged* until the whole range
+        # succeeds: if any shard forces the _PoolUnusable fallback, the
+        # partial attempt's telemetry is dropped along with its results
+        # and the serial rerun records the range instead.
+        staging: List[dict] = []
         lower_futures = []
         for shard in shards:
             future = pool.submit(_lower_shard, shard)
@@ -272,11 +342,18 @@ class ParallelTestPipeline:
             lower_futures.append(future)
         replay_futures = []
         for index, (shard_start, shard_stop) in enumerate(shards):
-            block = self._await(
+            block, snapshot = self._await(
                 pool, lower_futures[index], shard_start, shard_stop
             )
+            if snapshot is not None:
+                staging.append(snapshot)
             position = stream.consumed
-            self._scan(schedule, block, shard_start, shard_stop, stream)
+            with span(
+                obs, "parallel.scan",
+                shard=index, start=shard_start, stop=shard_stop,
+                position=position,
+            ):
+                self._scan(schedule, block, shard_start, shard_stop, stream)
             future = pool.submit(
                 _replay_shard, (shard_start, shard_stop, position, block)
             )
@@ -284,11 +361,20 @@ class ParallelTestPipeline:
                 raise _PoolUnusable("pool unavailable for shard replay")
             replay_futures.append(future)
         for index, (shard_start, shard_stop) in enumerate(shards):
-            detections, undetected = self._await(
+            detections, undetected, snapshot = self._await(
                 pool, replay_futures[index], shard_start, shard_stop
             )
+            if snapshot is not None:
+                staging.append(snapshot)
             result.detections.extend(detections)
             result.undetected_ids.extend(undetected)
+        if obs is not None:
+            for snapshot in staging:
+                obs.metrics.merge(snapshot)
+            obs.inc(
+                "repro_campaign_shards_total",
+                len(shards), engine="parallel", outcome="ok",
+            )
         return result
 
     def _await(self, pool, future, shard_start: int, shard_stop: int):

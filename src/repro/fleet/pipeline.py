@@ -17,6 +17,7 @@ with the detailed runs.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -36,10 +37,44 @@ __all__ = [
     "Detection",
     "FleetStudyResult",
     "TestPipeline",
+    "record_range_metrics",
 ]
 
 #: 32 months (§2.4: "we have conducted SDC testing ... over 32 months").
 STUDY_HORIZON_DAYS = 32 * 30.4
+
+
+def record_range_metrics(
+    obs,
+    engine: str,
+    result: "FleetStudyResult",
+    entry_detections: int,
+    entry_undetected: int,
+    draws: int,
+    cpus: int,
+    seconds: float,
+) -> None:
+    """Account one *completed* campaign range into ``obs``.
+
+    Shared by all three engines (the parallel engine's workers call it
+    through :meth:`VectorizedTestPipeline.replay_range`).  Called only
+    after a range finishes, so retried/abandoned attempts never pollute
+    the exact per-engine totals the worker-aggregation tests pin.
+    """
+    obs.inc("repro_campaign_cpus_total", cpus, engine=engine)
+    for detection in result.detections[entry_detections:]:
+        obs.inc(
+            "repro_campaign_detections_total",
+            engine=engine, stage=detection.stage_name,
+        )
+    undetected = len(result.undetected_ids) - entry_undetected
+    if undetected:
+        obs.inc(
+            "repro_campaign_undetected_total", undetected, engine=engine
+        )
+    if draws:
+        obs.inc("repro_campaign_draws_total", draws, engine=engine)
+    obs.observe("repro_campaign_range_seconds", seconds, engine=engine)
 
 
 @dataclass(frozen=True)
@@ -177,12 +212,19 @@ class TestPipeline:
         config: Optional[PipelineConfig] = None,
         trigger_model: Optional[TriggerModel] = None,
         seed: int = 11,
+        *,
+        obs=None,
     ):
         self.population = population
         self.library = library
         self.config = config or PipelineConfig()
         self.trigger = trigger_model or TriggerModel()
         self.seed = seed
+        #: Optional :class:`repro.obs.Observability` context.  ``None``
+        #: (the default) disables telemetry; the only cost left on the
+        #: hot path is one attribute check per ``run_range`` call.
+        self.obs = obs
+        self.obs_label = "scalar"
         #: The campaign's single Bernoulli stream.  A counted stream so
         #: checkpointing can record the exact draw position and a
         #: resumed run continues bit-identically (see repro.resilience).
@@ -304,6 +346,12 @@ class TestPipeline:
         the vectorized engine, or across a checkpoint/resume boundary)
         produces bit-identical output to one :meth:`run` call.
         """
+        obs = self.obs
+        if obs is not None:
+            started = time.perf_counter()
+            entry_draws = self._stream.consumed
+            entry_detections = len(result.detections)
+            entry_undetected = len(result.undetected_ids)
         occurrences = self._stage_occurrences()
         for processor in self.population.faulty[start:stop]:
             detection = self._run_processor(processor, occurrences)
@@ -311,6 +359,14 @@ class TestPipeline:
                 result.undetected_ids.append(processor.processor_id)
             else:
                 result.detections.append(detection)
+        if obs is not None:
+            record_range_metrics(
+                obs, self.obs_label, result,
+                entry_detections, entry_undetected,
+                self._stream.consumed - entry_draws,
+                stop - start,
+                time.perf_counter() - started,
+            )
         return result
 
     def _run_processor(

@@ -39,6 +39,7 @@ stages share their parameters (true for any sane `PipelineConfig`).
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -57,6 +58,7 @@ from .pipeline import (
     FleetStudyResult,
     PipelineConfig,
     TestPipeline,
+    record_range_metrics,
 )
 from .population import FleetPopulation
 
@@ -75,13 +77,22 @@ class VectorizedTestPipeline:
         config: Optional[PipelineConfig] = None,
         trigger_model: Optional[TriggerModel] = None,
         seed: int = 11,
+        *,
+        obs=None,
     ):
         # The scalar pipeline provides setting enumeration, the stage
         # schedule, and the seeded Bernoulli stream; this engine replaces
         # only how the per-stage expectations are *computed*.
         self._scalar = TestPipeline(
-            population, library, config, trigger_model, seed
+            population, library, config, trigger_model, seed, obs=obs
         )
+        #: Optional :class:`repro.obs.Observability` context; ``None``
+        #: disables telemetry.  Ranges replayed by *this* engine are
+        #: accounted under ``obs_label`` ("vectorized" here; the
+        #: parallel engine relabels its worker engines "parallel"), so
+        #: mixed-engine campaigns keep exact per-engine totals.
+        self.obs = obs
+        self.obs_label = "vectorized"
         self.population = population
         self.library = library
         self.config = self._scalar.config
@@ -421,6 +432,12 @@ class VectorizedTestPipeline:
         (O(1) jump-ahead) and replays the shard in a worker; passing the
         engine's own pipeline stream makes this exactly ``run_range``.
         """
+        obs = self.obs
+        if obs is not None:
+            started = time.perf_counter()
+            entry_draws = stream.consumed
+            entry_detections = len(result.detections)
+            entry_undetected = len(result.undetected_ids)
         block = self._lower_range(start, stop)
         (
             cpu_skip,
@@ -473,6 +490,14 @@ class VectorizedTestPipeline:
                 undetected_append(processor.processor_id)
             else:
                 detections_append(detection)
+        if obs is not None:
+            record_range_metrics(
+                obs, self.obs_label, result,
+                entry_detections, entry_undetected,
+                stream.consumed - entry_draws,
+                stop - start,
+                time.perf_counter() - started,
+            )
         return result
 
     def accounting_range(self, start: int, stop: int) -> Tuple:

@@ -1,0 +1,192 @@
+"""The :class:`Observability` context threaded through the stack.
+
+Components take a keyword-only ``obs=None`` parameter and guard every
+instrumentation site with ``if obs is not None`` (or the :func:`span`
+helper) — disabled telemetry is a single pointer comparison per
+shard/range, never per record or per draw, which is what makes the
+null path provably near-zero cost (``benchmarks/bench_perf_obs.py``
+measures and gates it).
+
+One context owns one :class:`~repro.obs.metrics.MetricsRegistry` and
+one :class:`~repro.obs.tracing.Tracer`; :meth:`Observability.create`
+builds it from CLI-style output paths and :meth:`close` flushes the
+trace and atomically writes the metrics file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .tracing import JsonlTraceSink, ListTraceSink, NullTracer, Tracer
+
+__all__ = ["Observability", "span", "observed_sleep"]
+
+_NULL_CONTEXT = contextlib.nullcontext()
+
+
+def span(obs: Optional["Observability"], name: str, **attrs: object):
+    """A tracer span when ``obs`` is enabled, a shared no-op otherwise.
+
+    ``with span(obs, "campaign.shard", shard=3):`` reads the same at
+    every call site whether telemetry is on or off; the disabled path
+    returns one preallocated ``nullcontext``.
+    """
+    if obs is None:
+        return _NULL_CONTEXT
+    return obs.tracer.span(name, **attrs)
+
+
+def observed_sleep(
+    obs: Optional["Observability"], seconds: float, reason: str
+) -> None:
+    """``time.sleep`` that is counted and traced when telemetry is on.
+
+    Backoff/chaos delays used to vanish into silent sleeps; this makes
+    every one visible as ``repro_sleep_seconds_total{reason=...}`` plus
+    a ``sleep`` trace event, without changing the slept duration.
+    """
+    if obs is not None:
+        obs.inc("repro_sleep_seconds_total", seconds, reason=reason)
+        obs.tracer.event("sleep", reason=reason, seconds=seconds)
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+class Observability:
+    """Bundle of metrics registry + tracer + output destinations."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        metrics_path: Optional[os.PathLike] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics_path = (
+            Path(metrics_path) if metrics_path is not None else None
+        )
+
+    @classmethod
+    def create(
+        cls,
+        metrics_path: Optional[os.PathLike] = None,
+        trace_path: Optional[os.PathLike] = None,
+    ) -> "Observability":
+        """Build a context from ``--metrics-out`` / ``--trace-out``."""
+        tracer = (
+            Tracer(JsonlTraceSink(trace_path))
+            if trace_path is not None
+            else NullTracer()
+        )
+        return cls(MetricsRegistry(), tracer, metrics_path)
+
+    @classmethod
+    def in_memory(cls) -> "Observability":
+        """Context capturing everything in process memory (tests)."""
+        return cls(MetricsRegistry(), Tracer(ListTraceSink()))
+
+    def close(self) -> None:
+        """Flush the trace sink and write the metrics file, if any."""
+        self.tracer.close()
+        if self.metrics_path is not None:
+            self.metrics.save(self.metrics_path)
+
+    # -- string-keyed instrument shorthand ----------------------------------
+    #
+    # Call sites name the metric inline; registration is idempotent so
+    # the first caller wins and later callers reuse the family.  Help
+    # text lives in _HELP below to keep call sites one-liners.
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        family = self.metrics.counter(
+            name, _HELP.get(name, ""), tuple(sorted(labels))
+        )
+        family.labels(**{k: str(v) for k, v in labels.items()}).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        family = self.metrics.gauge(
+            name, _HELP.get(name, ""), tuple(sorted(labels))
+        )
+        family.labels(**{k: str(v) for k, v in labels.items()}).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        family = self.metrics.histogram(
+            name, _HELP.get(name, ""), tuple(sorted(labels)),
+            buckets=_BUCKETS.get(name, DEFAULT_BUCKETS),
+        )
+        family.labels(**{k: str(v) for k, v in labels.items()}).observe(value)
+
+    # -- health bridge ------------------------------------------------------
+
+    def on_health_event(self, event) -> None:
+        """Mirror a :class:`~repro.resilience.health.HealthEvent` into
+        telemetry: a labeled counter plus a structured trace event, so
+        checkpointed health and emitted telemetry cannot disagree."""
+        self.inc("repro_health_events_total", kind=event.kind)
+        attrs = {"detail": event.detail}
+        if event.shard is not None:
+            attrs["shard"] = event.shard
+        if event.item is not None:
+            attrs["item"] = event.item
+        self.tracer.event(f"health.{event.kind}", **attrs)
+
+
+#: Help text for the metric families the instrumentation emits, keyed
+#: by name so the string-keyed shorthand stays a one-liner at call
+#: sites.  This is also the catalogue documented in
+#: ``docs/architecture.md``.
+_HELP = {
+    "repro_campaign_cpus_total":
+        "Faulty processors tested, by engine.",
+    "repro_campaign_detections_total":
+        "SDC detections recorded, by engine and test stage.",
+    "repro_campaign_undetected_total":
+        "Faulty processors that escaped the campaign, by engine.",
+    "repro_campaign_draws_total":
+        "CountedStream uniforms consumed by campaign ranges, by engine.",
+    "repro_campaign_shards_total":
+        "Campaign shards finished, by engine and outcome.",
+    "repro_campaign_range_seconds":
+        "Wall-clock seconds per campaign range/shard, by engine.",
+    "repro_parallel_tasks_total":
+        "Parallel-engine worker tasks, by phase (lower/replay).",
+    "repro_checkpoint_total":
+        "Checkpoint container operations, by op (save/load/fallback).",
+    "repro_health_events_total":
+        "Campaign health events mirrored from CampaignHealthReport.",
+    "repro_chaos_faults_total":
+        "Chaos faults injected, by kind.",
+    "repro_sleep_seconds_total":
+        "Seconds slept in backoff/chaos delays, by reason.",
+    "repro_retry_total":
+        "Retries attempted, by scope (shard/item).",
+    "repro_online_steps_total":
+        "Online-simulation control steps, by mode (scalar/batch).",
+    "repro_online_sdc_total":
+        "SDC events sampled during online simulation, by mode.",
+    "repro_online_backoff_engagements_total":
+        "Workload-backoff engagements during online simulation, by mode.",
+    "repro_farron_rounds_total":
+        "Farron test rounds executed, by kind "
+        "(pre_production/regular/targeted).",
+    "repro_farron_round_sim_seconds":
+        "Simulated duration of Farron test rounds, by kind.",
+    "repro_farron_windows_total":
+        "Scheduled test windows in Farron regular plans.",
+    "repro_thermal_substeps_total":
+        "Batch thermal-model integration substeps, by mode.",
+}
+
+#: Non-default bucket layouts.  Farron round durations are *simulated*
+#: seconds (minutes-scale test windows), not wall clock.
+_BUCKETS = {
+    "repro_farron_round_sim_seconds": (
+        1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, float("inf"),
+    ),
+}

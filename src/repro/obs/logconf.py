@@ -1,0 +1,64 @@
+"""Stdlib-logging configuration for CLI and benchmark entry points.
+
+Library modules get their loggers the normal way
+(``logging.getLogger(__name__)``) and never configure handlers;
+:func:`logging_setup` is the single place an *entry point* wires the
+root ``repro`` logger to stderr.  Diagnostics therefore never mix into
+stdout, which stays reserved for machine-readable output (tables,
+JSON, benchmark report lines).
+
+Verbosity maps the conventional way: default WARNING, ``-v`` INFO,
+``-vv`` DEBUG; an explicit ``--log-level`` wins over ``-v`` counts.
+Setup is idempotent so tests can call it repeatedly.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["logging_setup"]
+
+_HANDLER_NAME = "repro-obs-stderr"
+
+_VERBOSITY = {0: logging.WARNING, 1: logging.INFO}
+
+
+def logging_setup(
+    level: Optional[str] = None,
+    *,
+    verbose: int = 0,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    ``level`` is a name like ``"debug"`` (from ``--log-level``) and
+    overrides ``verbose`` (the ``-v`` count).  The handler writes to
+    ``stream`` (default ``sys.stderr``) and is replaced, not stacked,
+    on repeat calls.
+    """
+    if level is not None:
+        resolved = getattr(logging, level.upper(), None)
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        resolved = _VERBOSITY.get(verbose, logging.DEBUG)
+
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolved)
+    logger.propagate = False
+
+    for handler in list(logger.handlers):
+        if handler.get_name() == _HANDLER_NAME:
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.set_name(_HANDLER_NAME)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,205 @@
+"""Render campaign telemetry into human-readable summary tables.
+
+Backs the ``repro obs-report`` command: load a metrics file (canonical
+JSON or Prometheus exposition text) and/or a JSONL trace, validate
+their self-checks, and summarize counters, histograms, and the slowest
+spans.  ``check_artifacts`` is the strict schema-validation entry the
+CI observability smoke job uses.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+from .metrics import MetricsRegistry, parse_prometheus_text
+from .tracing import iter_spans, read_trace
+
+__all__ = ["load_metrics", "render_report", "check_artifacts"]
+
+
+def load_metrics(path) -> MetricsRegistry:
+    """Load a metrics artifact, sniffing JSON container vs exposition
+    text, and verify whichever self-checks the format carries."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ObservabilityError(
+            f"cannot read metrics file {path}: {error}"
+        ) from error
+    if text.lstrip().startswith("{"):
+        return MetricsRegistry.from_json(text)
+    parsed = parse_prometheus_text(text)
+    if not parsed:
+        raise ObservabilityError(f"metrics file {path} contains no samples")
+    registry = MetricsRegistry()
+    registry._parsed_exposition = parsed  # noqa: SLF001 (report-only view)
+    return registry
+
+
+def _metric_rows(registry: MetricsRegistry) -> List[Tuple[str, str, str]]:
+    rows: List[Tuple[str, str, str]] = []
+    parsed = getattr(registry, "_parsed_exposition", None)
+    if parsed is not None:
+        for name in sorted(parsed):
+            entry = parsed[name]
+            for sample in sorted(entry["samples"]):
+                value = entry["samples"][sample]
+                rows.append((
+                    sample, entry["kind"] or "untyped",
+                    f"{value:g}",
+                ))
+        return rows
+    snapshot = registry.snapshot()
+    for family in snapshot["families"]:
+        for series in family["series"]:
+            labels = ",".join(
+                f"{k}={v}"
+                for k, v in zip(family["labelnames"], series["labels"])
+            )
+            rendered = f"{family['name']}{{{labels}}}" if labels \
+                else family["name"]
+            if family["kind"] == "histogram":
+                count = series["count"]
+                mean = series["sum"] / count if count else math.nan
+                rows.append((
+                    rendered, "histogram",
+                    f"count={count} mean={mean:.6g}s",
+                ))
+            else:
+                rows.append((
+                    rendered, family["kind"], f"{series['value']:g}",
+                ))
+    return rows
+
+
+def _span_rows(records) -> List[Tuple[str, str, str, str]]:
+    totals: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for joined in iter_spans(records):
+        totals.setdefault(joined["name"], []).append(
+            float(joined["dur_s"])
+        )
+        if "error" in joined:
+            errors[joined["name"]] = errors.get(joined["name"], 0) + 1
+    rows = []
+    for name in sorted(
+        totals, key=lambda n: -sum(totals[n])
+    ):
+        durations = totals[name]
+        rows.append((
+            name,
+            str(len(durations)),
+            f"{sum(durations):.4f}",
+            str(errors.get(name, 0)),
+        ))
+    return rows
+
+
+def render_report(
+    metrics_path=None, trace_path=None
+) -> str:
+    """The ``repro obs-report`` body: tables for metrics and spans."""
+    # Imported here: repro.analysis is a heavy aggregate package, and
+    # pulling it in at repro.obs import time would cycle back through
+    # the very modules obs instruments.
+    from ..analysis.report import render_table
+
+    if metrics_path is None and trace_path is None:
+        raise ObservabilityError(
+            "obs-report needs --metrics and/or --trace"
+        )
+    sections: List[str] = []
+    if metrics_path is not None:
+        registry = load_metrics(metrics_path)
+        rows = _metric_rows(registry)
+        sections.append(render_table(
+            ("metric", "kind", "value"),
+            rows if rows else [("(no samples)", "-", "-")],
+            title=f"Metrics — {metrics_path}",
+        ))
+    if trace_path is not None:
+        records = read_trace(trace_path)
+        rows = _span_rows(records)
+        events = sum(1 for r in records if r.get("kind") == "event")
+        sections.append(render_table(
+            ("span", "n", "total_s", "errors"),
+            rows if rows else [("(no spans)", "-", "-", "-")],
+            title=f"Spans — {trace_path} ({len(records)} records, "
+                  f"{events} point events)",
+        ))
+    return "\n\n".join(sections)
+
+
+def check_artifacts(
+    metrics_path=None, trace_path=None
+) -> List[str]:
+    """Strict schema validation for CI; returns a list of violations.
+
+    Metrics: the file must parse under its format's self-checks and
+    contain at least one ``repro_``-prefixed family.  Trace: every line
+    must pass its CRC (strict mode — no torn-tail tolerance), span
+    begin/end records must pair up, and nesting must be well-formed.
+    """
+    problems: List[str] = []
+    if metrics_path is not None:
+        try:
+            registry = load_metrics(metrics_path)
+        except ObservabilityError as error:
+            problems.append(f"metrics: {error}")
+        else:
+            parsed = getattr(registry, "_parsed_exposition", None)
+            names = (
+                list(parsed) if parsed is not None else registry.families()
+            )
+            if not any(name.startswith("repro_") for name in names):
+                problems.append(
+                    "metrics: no repro_* metric families present"
+                )
+            if parsed is not None:
+                untyped = [
+                    name for name in names if parsed[name]["kind"] is None
+                ]
+                if untyped:
+                    problems.append(
+                        f"metrics: families without TYPE: {sorted(untyped)}"
+                    )
+    if trace_path is not None:
+        try:
+            records = read_trace(trace_path, strict=True)
+        except ObservabilityError as error:
+            problems.append(f"trace: {error}")
+        else:
+            open_spans: Dict[int, str] = {}
+            for index, record in enumerate(records):
+                kind = record.get("kind")
+                if kind not in ("span_begin", "span_end", "event"):
+                    problems.append(
+                        f"trace: record {index} has unknown kind {kind!r}"
+                    )
+                    continue
+                if "name" not in record or "ts" not in record:
+                    problems.append(
+                        f"trace: record {index} lacks name/ts"
+                    )
+                if kind == "span_begin":
+                    open_spans[record["span"]] = record["name"]
+                elif kind == "span_end":
+                    begun = open_spans.pop(record["span"], None)
+                    if begun is None:
+                        problems.append(
+                            f"trace: span_end {record['span']} without begin"
+                        )
+                    elif begun != record["name"]:
+                        problems.append(
+                            f"trace: span {record['span']} began as "
+                            f"{begun!r}, ended as {record['name']!r}"
+                        )
+            for span_id, name in open_spans.items():
+                problems.append(
+                    f"trace: span {span_id} ({name!r}) never ended"
+                )
+    return problems

@@ -1,0 +1,325 @@
+"""Span-based tracing with a deterministic, RNG-free event model.
+
+A :class:`Tracer` records the campaign lifecycle as begin/end span pairs
+plus point events, written to a :class:`JsonlTraceSink`.  Two design
+rules keep tracing safe to enable on seeded campaigns:
+
+* **Monotonic-clock injection.**  Timestamps come from an injected
+  ``clock`` callable (default :func:`time.monotonic`); the tracer never
+  touches ``random``/NumPy state, so an instrumented run consumes
+  exactly the same :class:`~repro.rng.CountedStream` draws as an
+  uninstrumented one.  Tests inject a fake clock to pin ordering.
+* **Self-checking JSONL.**  The sink reuses the checkpoint container
+  conventions: a header line identifying the format, then one canonical
+  JSON object per line carrying a CRC-32 over its own canonical
+  encoding.  :func:`read_trace` verifies every line and (by default)
+  tolerates a torn final line — the same crash-consistency posture as
+  :mod:`repro.resilience.checkpoint`.
+
+When telemetry is disabled the campaign code holds no tracer at all
+(``obs is None``); :class:`NullTracer` exists for call sites that want
+an always-valid tracer object, and its span is a shared no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..errors import ObservabilityError, TraceCorruptError
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Tracer",
+    "NullTracer",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "read_trace",
+]
+
+TRACE_FORMAT = "repro-obs-trace"
+TRACE_VERSION = 1
+
+
+def _canonical(record: Dict[str, object]) -> bytes:
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+class JsonlTraceSink:
+    """Append trace records to a JSONL file with per-line CRC-32.
+
+    The file is opened lazily on the first record and starts with a
+    header line ``{"format": "repro-obs-trace", "version": 1}``.  Each
+    subsequent line is a canonical JSON object whose ``crc32`` field is
+    the CRC-32 of the canonical encoding of the record *without* that
+    field, so any line can be verified in isolation.
+    """
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            try:
+                self._handle = open(self.path, "w", encoding="utf-8")
+            except OSError as error:
+                raise ObservabilityError(
+                    f"cannot open trace file {self.path}: {error}"
+                ) from error
+            header = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+            self._handle.write(_canonical(header).decode("utf-8") + "\n")
+        body = _canonical(record)
+        sealed = dict(record)
+        sealed["crc32"] = zlib.crc32(body)
+        self._handle.write(_canonical(sealed).decode("utf-8") + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+
+class ListTraceSink:
+    """In-memory sink for tests and ``obs-report`` post-processing."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class _Span:
+    """Context manager emitted by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "_t0")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int,
+        parent_id: Optional[int],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer._clock()
+        self._tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        now = self._tracer._clock()
+        end: Dict[str, object] = {
+            "kind": "span_end",
+            "name": self.name,
+            "span": self.span_id,
+            "ts": now,
+            "dur_s": now - self._t0,
+        }
+        if exc_type is not None:
+            end["error"] = exc_type.__name__
+        self._tracer._sink.emit(end)
+        return False
+
+
+class Tracer:
+    """Emits nested spans and point events to a sink.
+
+    Span ids are sequential integers assigned at creation; parentage is
+    tracked with an explicit stack, so nesting/ordering is deterministic
+    for a given call sequence regardless of timing.
+    """
+
+    def __init__(
+        self,
+        sink,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._sink = sink
+        self._clock = clock
+        self._next_id = 1
+        self._stack: List[int] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        record: Dict[str, object] = {
+            "kind": "span_begin",
+            "name": name,
+            "span": span_id,
+            "ts": self._clock(),
+        }
+        if parent is not None:
+            record["parent"] = parent
+        if attrs:
+            record["attrs"] = attrs
+        self._sink.emit(record)
+        return _Span(self, name, span_id, parent)
+
+    def event(self, name: str, **attrs: object) -> None:
+        record: Dict[str, object] = {
+            "kind": "event",
+            "name": name,
+            "ts": self._clock(),
+        }
+        if self._stack:
+            record["span"] = self._stack[-1]
+        if attrs:
+            record["attrs"] = attrs
+        self._sink.emit(record)
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: every method returns immediately.
+
+    A single shared span object is reused for all ``span()`` calls, so
+    the disabled path allocates nothing.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def read_trace(
+    path: os.PathLike, strict: bool = False
+) -> List[Dict[str, object]]:
+    """Read and verify a :class:`JsonlTraceSink` file.
+
+    Every line's CRC-32 is recomputed; a corrupt line raises
+    :class:`~repro.errors.TraceCorruptError`.  A torn *final* line
+    (interrupted write) is silently dropped unless ``strict`` is true —
+    mirroring checkpoint-read semantics.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ObservabilityError(
+            f"cannot read trace file {path}: {error}"
+        ) from error
+    if not lines:
+        if strict:
+            raise TraceCorruptError(f"trace file {path} is empty")
+        return []
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise TraceCorruptError(f"trace file {path} has a malformed header")
+    if (
+        not isinstance(header, dict)
+        or header.get("format") != TRACE_FORMAT
+    ):
+        raise TraceCorruptError(
+            f"trace file {path} lacks the {TRACE_FORMAT!r} header"
+        )
+    if header.get("version") != TRACE_VERSION:
+        raise TraceCorruptError(
+            f"trace file {path} has unsupported version "
+            f"{header.get('version')!r}"
+        )
+    records: List[Dict[str, object]] = []
+    last = len(lines) - 1
+    for index, line in enumerate(lines[1:], start=1):
+        if not line.strip():
+            continue
+        torn_ok = index == last and not strict
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if torn_ok:
+                break
+            raise TraceCorruptError(
+                f"trace file {path} line {index + 1} is not valid JSON"
+            )
+        if not isinstance(record, dict) or "crc32" not in record:
+            if torn_ok:
+                break
+            raise TraceCorruptError(
+                f"trace file {path} line {index + 1} lacks a crc32 field"
+            )
+        claimed = record.pop("crc32")
+        if zlib.crc32(_canonical(record)) != claimed:
+            if torn_ok:
+                break
+            raise TraceCorruptError(
+                f"trace file {path} line {index + 1} failed its "
+                f"CRC-32 self-check"
+            )
+        records.append(record)
+    return records
+
+
+def iter_spans(
+    records: List[Dict[str, object]]
+) -> Iterator[Dict[str, object]]:
+    """Yield completed spans joined from begin/end records.
+
+    Each yielded dict has ``name``, ``span``, ``parent``, ``dur_s``,
+    ``attrs`` and ``error`` (if any) — used by ``repro obs-report``.
+    """
+    begins: Dict[int, Dict[str, object]] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span_begin":
+            begins[record["span"]] = record
+        elif kind == "span_end":
+            begin = begins.pop(record["span"], None)
+            joined: Dict[str, object] = {
+                "name": record["name"],
+                "span": record["span"],
+                "parent": (begin or {}).get("parent"),
+                "dur_s": record.get("dur_s", 0.0),
+                "attrs": (begin or {}).get("attrs", {}),
+            }
+            if "error" in record:
+                joined["error"] = record["error"]
+            yield joined

@@ -42,13 +42,13 @@ pickling it per task.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.backoff import ExponentialBackoff
 from ..errors import TransientWorkerError
+from ..obs.context import observed_sleep
 
 __all__ = ["default_workers", "deterministic_map", "DeterministicPool"]
 
@@ -120,6 +120,7 @@ def _run_item_supervised(
     health,
     failures: int = 0,
     last_error: str = "",
+    obs=None,
 ) -> _R:
     """Run one item in the current process, retrying with backoff.
 
@@ -144,8 +145,9 @@ def _run_item_supervised(
                 f"(backoff {delay:.3f}s)",
                 item=index,
             )
-            if delay > 0.0:
-                time.sleep(delay)
+            if obs is not None:
+                obs.inc("repro_retry_total", scope="item")
+            observed_sleep(obs, delay, "item_retry")
         try:
             return fn(item)
         except Exception as error:  # noqa: BLE001
@@ -171,12 +173,13 @@ def _serial_map(
     backoff: ExponentialBackoff,
     health,
     out: List[_R],
+    obs=None,
 ) -> List[_R]:
     for offset, item in enumerate(tasks):
         out.append(
             _run_item_supervised(
                 fn, item, start + offset,
-                retries=retries, backoff=backoff, health=health,
+                retries=retries, backoff=backoff, health=health, obs=obs,
             )
         )
     return out
@@ -212,6 +215,7 @@ class DeterministicPool:
         timeout_s: float | None = None,
         backoff: Optional[ExponentialBackoff] = None,
         health=None,
+        obs=None,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -224,6 +228,7 @@ class DeterministicPool:
         self.timeout_s = timeout_s
         self.backoff = backoff or ExponentialBackoff(base_s=0.05, cap_s=2.0)
         self.health = health
+        self.obs = obs
         self._initializer = initializer
         self._initargs = tuple(initargs)
         self._pool: ProcessPoolExecutor | None = None
@@ -326,7 +331,7 @@ class DeterministicPool:
         return _serial_map(
             fn, tasks, start,
             retries=self.retries, backoff=self.backoff, health=self.health,
-            out=out,
+            out=out, obs=self.obs,
         )
 
     def map(
@@ -426,7 +431,7 @@ class DeterministicPool:
                     fn, tasks[fail_index], fail_index,
                     retries=self.retries, backoff=self.backoff,
                     health=self.health,
-                    failures=1, last_error=cause,
+                    failures=1, last_error=cause, obs=self.obs,
                 )
             )
             remainder_start = fail_index + 1
@@ -449,6 +454,7 @@ def deterministic_map(
     timeout_s: float | None = None,
     backoff: Optional[ExponentialBackoff] = None,
     health=None,
+    obs=None,
 ) -> list[_R]:
     """Map ``fn`` over ``tasks``, returning results in task order.
 
@@ -487,6 +493,7 @@ def deterministic_map(
         timeout_s=timeout_s,
         backoff=backoff,
         health=health,
+        obs=obs,
     )
     with pool:
         return pool.map(fn, tasks, chunksize=chunksize)

@@ -27,11 +27,11 @@ invariant the chaos suite (``tests/chaos/``) enforces.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.backoff import ExponentialBackoff
+from ..obs.context import observed_sleep, span
 from ..errors import (
     CampaignAbortedError,
     ConfigurationError,
@@ -157,6 +157,7 @@ class ResilientCampaign:
         max_shard_retries: int = 3,
         retry_backoff: Optional[ExponentialBackoff] = None,
         verify_parity: bool = False,
+        obs=None,
     ):
         if engine not in ENGINES:
             raise ConfigurationError(
@@ -182,6 +183,13 @@ class ResilientCampaign:
         self.health = health if health is not None else CampaignHealthReport()
         if chaos is not None and chaos.health is None:
             chaos.health = self.health
+        self.obs = obs
+        if obs is not None:
+            # Bridge health and chaos into the telemetry stream: every
+            # event they record is also counted and traced.
+            self.health.observer = obs
+            if chaos is not None:
+                chaos.obs = obs
         self.max_shard_retries = max_shard_retries
         self.retry_backoff = retry_backoff or ExponentialBackoff(
             base_s=0.05, cap_s=1.0, seed=seed
@@ -190,7 +198,7 @@ class ResilientCampaign:
         # One vectorized engine; its embedded scalar engine shares the
         # counted pipeline stream, so either can execute any shard.
         self._vectorized = VectorizedTestPipeline(
-            population, library, config, None, seed
+            population, library, config, None, seed, obs=obs
         )
         self._scalar = self._vectorized._scalar
         self._stream = self._scalar._stream
@@ -302,6 +310,8 @@ class ResilientCampaign:
             )
         self._cursor = cursor
         self._stream.reset_to(draws)
+        if self.obs is not None:
+            self.obs.inc("repro_checkpoint_total", op="load")
         self.result.detections = [
             _detection_from_row(row) for row in payload.get("detections", [])
         ]
@@ -336,7 +346,13 @@ class ResilientCampaign:
             f"cursor {self._cursor}, {self._stream.consumed} draws",
             shard=shard,
         )
-        path = self.store.save(self._payload())
+        with span(
+            self.obs, "checkpoint.save",
+            shard=shard, cursor=self._cursor, draws=self._stream.consumed,
+        ):
+            path = self.store.save(self._payload())
+        if self.obs is not None:
+            self.obs.inc("repro_checkpoint_total", op="save")
         if self.chaos is not None:
             self.chaos.damage_checkpoint(path, shard)
 
@@ -390,13 +406,18 @@ class ResilientCampaign:
         while True:
             self._stream.reset_to(draws_at_start)
             try:
-                if self.chaos is not None:
-                    self.chaos.on_shard_start(shard)
-                shard_result = self._run_shard_once(start, stop, engine)
-                if engine != "scalar":
-                    self._self_check_parity(
-                        start, stop, shard, draws_at_start, shard_result
-                    )
+                with span(
+                    self.obs, "campaign.shard",
+                    shard=shard, start=start, stop=stop,
+                    engine=engine, attempt=attempt,
+                ):
+                    if self.chaos is not None:
+                        self.chaos.on_shard_start(shard)
+                    shard_result = self._run_shard_once(start, stop, engine)
+                    if engine != "scalar":
+                        self._self_check_parity(
+                            start, stop, shard, draws_at_start, shard_result
+                        )
                 return shard_result
             except ParityDegradedError as error:
                 # Ground truth is the scalar engine; degrade this shard.
@@ -419,8 +440,9 @@ class ResilientCampaign:
                     f"attempt {attempt} after {error} (backoff {delay:.3f}s)",
                     shard=shard,
                 )
-                if delay > 0.0:
-                    time.sleep(delay)
+                if self.obs is not None:
+                    self.obs.inc("repro_retry_total", scope="shard")
+                observed_sleep(self.obs, delay, "shard_retry")
 
     def _self_check_parity(
         self,
@@ -437,7 +459,15 @@ class ResilientCampaign:
             return
         if not tripped:
             self._stream.reset_to(draws_at_start)
-            reference = self._run_shard_once(start, stop, "scalar")
+            # The reference rerun is a *check*, not campaign work:
+            # counting it would double the shard in the per-engine
+            # totals, so telemetry is suspended for its duration.
+            saved_obs = self._scalar.obs
+            self._scalar.obs = None
+            try:
+                reference = self._run_shard_once(start, stop, "scalar")
+            finally:
+                self._scalar.obs = saved_obs
             if (
                 reference.detections == shard_result.detections
                 and reference.undetected_ids == shard_result.undetected_ids
@@ -456,23 +486,29 @@ class ResilientCampaign:
         ``repro resume``) restarts from the last good snapshot.
         """
         faulty_count = len(self.population.faulty)
-        while self._cursor < faulty_count:
-            start = self._cursor
-            stop = min(start + self.shard_size, faulty_count)
-            shard = start // self.shard_size
-            shard_result = self._execute_shard(start, stop, shard)
-            self.result.detections.extend(shard_result.detections)
-            self.result.undetected_ids.extend(shard_result.undetected_ids)
-            self._cursor = stop
-            self._shards_since_checkpoint += 1
-            if (
-                self._shards_since_checkpoint >= self.checkpoint_every
-                or self._cursor >= faulty_count
-            ):
-                self._checkpoint(shard)
-                self._shards_since_checkpoint = 0
-            if self.chaos is not None:
-                self.chaos.kill_after_shard(shard)
+        with span(
+            self.obs, "campaign.run",
+            engine=self.engine, cursor=self._cursor, faulty=faulty_count,
+        ):
+            while self._cursor < faulty_count:
+                start = self._cursor
+                stop = min(start + self.shard_size, faulty_count)
+                shard = start // self.shard_size
+                shard_result = self._execute_shard(start, stop, shard)
+                self.result.detections.extend(shard_result.detections)
+                self.result.undetected_ids.extend(
+                    shard_result.undetected_ids
+                )
+                self._cursor = stop
+                self._shards_since_checkpoint += 1
+                if (
+                    self._shards_since_checkpoint >= self.checkpoint_every
+                    or self._cursor >= faulty_count
+                ):
+                    self._checkpoint(shard)
+                    self._shards_since_checkpoint = 0
+                if self.chaos is not None:
+                    self.chaos.kill_after_shard(shard)
         return self.result
 
 

@@ -31,11 +31,11 @@ reproduce.  Keep one injector instance per supervised run.
 from __future__ import annotations
 
 import os
-import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import ResilienceError, TransientWorkerError
+from ..obs.context import observed_sleep
 from ..rng import substream
 from .health import KIND_FAULT, CampaignHealthReport
 
@@ -82,6 +82,11 @@ class ChaosInjector:
         self._rng = substream(seed, "chaos")
         self._fired: Set[Tuple[int, str]] = set()
         self.health: Optional[CampaignHealthReport] = None
+        #: Optional :class:`repro.obs.Observability`: every injected
+        #: fault is counted and traced the instant it fires, and delay
+        #: faults sleep through :func:`repro.obs.observed_sleep` instead
+        #: of a silent ``time.sleep``.
+        self.obs = None
 
     @classmethod
     def seeded(
@@ -111,6 +116,9 @@ class ChaosInjector:
         if kind not in self.schedule.get(shard, ()) or (shard, kind) in self._fired:
             return False
         self._fired.add((shard, kind))
+        if self.obs is not None:
+            self.obs.inc("repro_chaos_faults_total", kind=kind)
+            self.obs.tracer.event(f"chaos.{kind}", shard=shard)
         if self.health is not None:
             self.health.record(KIND_FAULT, f"injected {kind}", shard=shard)
         return True
@@ -118,7 +126,7 @@ class ChaosInjector:
     def on_shard_start(self, shard: int) -> None:
         """Worker-side faults: flaky exception, slow host."""
         if self._take(shard, "delay"):
-            time.sleep(self.delay_s)
+            observed_sleep(self.obs, self.delay_s, "chaos_delay")
         if self._take(shard, "exception"):
             raise TransientWorkerError(
                 f"chaos: injected worker exception on shard {shard}",

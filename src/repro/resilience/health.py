@@ -66,6 +66,14 @@ class CampaignHealthReport:
 
     events: List[HealthEvent] = field(default_factory=list)
 
+    #: Optional telemetry bridge (class attribute, not a dataclass
+    #: field: it never serializes into checkpoints).  Anything with an
+    #: ``on_health_event(event)`` method — in practice
+    #: :class:`repro.obs.Observability` — sees every event the moment
+    #: it is recorded, so checkpointed health and emitted telemetry
+    #: cannot disagree.
+    observer = None
+
     def record(
         self,
         kind: str,
@@ -76,6 +84,8 @@ class CampaignHealthReport:
     ) -> HealthEvent:
         event = HealthEvent(kind=kind, detail=detail, shard=shard, item=item)
         self.events.append(event)
+        if self.observer is not None:
+            self.observer.on_health_event(event)
         return event
 
     # -- queries -----------------------------------------------------------

@@ -85,6 +85,11 @@ class BatchPackageThermalModel:
         self.t_package = np.full(self.n_lanes, idle_equilibrium)
         self.deltas = np.zeros((self.n_lanes, self.max_cores))
         self.elapsed_s = 0.0
+        #: Integration substeps executed so far (all lanes advance
+        #: together, so this counts wall work, not lane-substeps).
+        #: Telemetry reads it after a run — the hot loop itself never
+        #: touches an Observability object.
+        self.substeps = 0
 
     def core_powers(
         self, utilization: np.ndarray, heat_factor: np.ndarray
@@ -136,6 +141,7 @@ class BatchPackageThermalModel:
             dD = (powers - self.deltas / params.r_core) / params.c_core
             self.deltas = self.deltas + dD * h
             remaining -= h
+            self.substeps += 1
         self.elapsed_s += dt_s
 
     # -- readouts -----------------------------------------------------------

@@ -1,0 +1,521 @@
+"""Fleet-scale telemetry: registry, tracing, and instrumentation hooks.
+
+The load-bearing contract is the last section: enabling telemetry must
+never change a campaign's results — detections, undetected lists, and
+the exact CountedStream position are bit-identical with ``obs`` on or
+off, for all three engines and multiple seeds — and the parallel
+engine's per-worker metric snapshots must merge to exactly the serial
+totals.
+"""
+
+import json
+import logging
+import zlib
+
+import pytest
+
+from repro.errors import ObservabilityError, TraceCorruptError
+from repro.fleet import (
+    FleetSpec,
+    ParallelTestPipeline,
+    TestPipeline,
+    VectorizedTestPipeline,
+    generate_fleet,
+)
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    JsonlTraceSink,
+    ListTraceSink,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    check_artifacts,
+    iter_spans,
+    load_metrics,
+    logging_setup,
+    observed_sleep,
+    parse_prometheus_text,
+    read_trace,
+    render_report,
+)
+from repro.resilience.health import CampaignHealthReport
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    # ~120 faulty CPUs: several shards at the tested shard sizes.
+    return generate_fleet(
+        FleetSpec(total_processors=6_000, failure_rate_scale=60.0, seed=9)
+    )
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_lookup(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_x_total", "help", ("engine",))
+        family.labels(engine="scalar").inc()
+        family.labels(engine="scalar").inc(2.0)
+        family.labels(engine="vectorized").inc(5.0)
+        assert registry.value("repro_x_total", engine="scalar") == 3.0
+        assert registry.total("repro_x_total") == 8.0
+        assert registry.sample_count == 3
+
+    def test_counter_rejects_negative_and_gauge_allows_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1.0)
+        gauge = registry.gauge("g")
+        gauge.set(4.5)
+        gauge.set(-2.5)
+        assert registry.value("g") == -2.5
+
+    def test_invalid_names_and_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("0bad")
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok_total", "", ("bad-label",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok_total", "", ("__reserved",))
+
+    def test_re_registration_must_match(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "", ("a",))
+        registry.counter("x_total", "", ("a",))  # idempotent
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x_total")
+        with pytest.raises(ObservabilityError):
+            registry.counter("x_total", "", ("b",))
+
+    def test_histogram_bucket_edges_are_inclusive(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "h_seconds", buckets=(1.0, 5.0, float("inf"))
+        )
+        series = family.labels()
+        series.observe(1.0)   # == edge → first bucket
+        series.observe(1.0001)
+        series.observe(5.0)
+        series.observe(99.0)  # only +Inf holds it
+        snapshot = registry.snapshot()
+        row = snapshot["families"][0]["series"][0]
+        # Non-cumulative per-bucket counts; the +Inf bucket is implicit
+        # in count - sum(finite buckets).
+        assert row["bucket_counts"] == [1, 2, 1]
+        assert row["count"] == 4
+        assert row["sum"] == pytest.approx(1.0 + 1.0001 + 5.0 + 99.0)
+
+    def test_histogram_bucket_normalization(self):
+        registry = MetricsRegistry()
+        # A finite terminal edge gets +Inf appended automatically...
+        family = registry.histogram("h1_seconds", buckets=(1.0, 2.0))
+        assert family.buckets == (1.0, 2.0, float("inf"))
+        # ...but unsorted or empty layouts are rejected outright.
+        with pytest.raises(ObservabilityError):
+            registry.histogram(
+                "h2_seconds", buckets=(2.0, 1.0, float("inf"))
+            )
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h3_seconds", buckets=())
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+
+    def test_snapshot_merge_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        a.counter("n_total", "", ("k",)).labels(k="x").inc(2.0)
+        a.histogram("h_seconds").labels().observe(0.5)
+        b = MetricsRegistry()
+        b.counter("n_total", "", ("k",)).labels(k="x").inc(3.0)
+        b.counter("n_total", "", ("k",)).labels(k="y").inc(1.0)
+        b.histogram("h_seconds").labels().observe(2.0)
+        a.merge(b.snapshot())
+        assert a.value("n_total", k="x") == 5.0
+        assert a.value("n_total", k="y") == 1.0
+        row = [
+            f for f in a.snapshot()["families"] if f["name"] == "h_seconds"
+        ][0]["series"][0]
+        assert row["count"] == 2
+        assert row["sum"] == pytest.approx(2.5)
+
+    def test_merge_gauge_last_write_wins(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b = MetricsRegistry()
+        b.gauge("g").set(7.0)
+        a.merge(b.snapshot())
+        assert a.value("g") == 7.0
+
+    def test_merge_rejects_mismatched_metadata(self):
+        a = MetricsRegistry()
+        a.counter("m_total")
+        b = MetricsRegistry()
+        b.gauge("m_total")
+        with pytest.raises(ObservabilityError):
+            a.merge(b.snapshot())
+
+    def test_json_round_trip_and_crc_detection(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total", "", ("k",)).labels(k="x").inc(9.0)
+        registry.histogram("h_seconds").labels().observe(0.25)
+        text = registry.to_json()
+        loaded = MetricsRegistry.from_json(text)
+        assert loaded.snapshot() == registry.snapshot()
+        document = json.loads(text)
+        document["payload"]["families"][0]["series"][0]["value"] = 10.0
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry.from_json(json.dumps(document))
+
+    def test_prometheus_text_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_n_total", "things", ("engine",)
+        ).labels(engine="scalar").inc(4.0)
+        registry.histogram("repro_h_seconds").labels().observe(0.002)
+        text = registry.to_prometheus_text()
+        assert "# TYPE repro_n_total counter" in text
+        assert "# HELP repro_n_total things" in text
+        assert 'repro_n_total{engine="scalar"} 4' in text
+        assert 'le="+Inf"' in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_n_total"]["kind"] == "counter"
+        samples = parsed["repro_h_seconds"]["samples"]
+        assert samples["repro_h_seconds_count"] == 1.0
+        # Cumulative buckets: every bucket at or above 0.0025 sees the
+        # observation, including +Inf.
+        assert samples['repro_h_seconds_bucket{le="+Inf"}'] == 1.0
+
+    def test_save_sniffs_format_by_suffix(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_n_total").labels().inc()
+        json_path = tmp_path / "m.json"
+        prom_path = tmp_path / "m.prom"
+        registry.save(json_path)
+        registry.save(prom_path)
+        assert json_path.read_text().lstrip().startswith("{")
+        assert "# TYPE repro_n_total" in prom_path.read_text()
+        for path in (json_path, prom_path):
+            loaded = load_metrics(path)
+            parsed = getattr(loaded, "_parsed_exposition", None)
+            names = list(parsed) if parsed is not None else loaded.families()
+            assert "repro_n_total" in names
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_and_ordering(self):
+        sink = ListTraceSink()
+        ticks = iter(range(100))
+        tracer = Tracer(sink, clock=lambda: float(next(ticks)))
+        with tracer.span("outer", shard=1):
+            with tracer.span("inner"):
+                tracer.event("tick", n=3)
+        kinds = [(r["kind"], r["name"]) for r in sink.records]
+        assert kinds == [
+            ("span_begin", "outer"),
+            ("span_begin", "inner"),
+            ("event", "tick"),
+            ("span_end", "inner"),
+            ("span_end", "outer"),
+        ]
+        outer_begin, inner_begin, event, inner_end, outer_end = sink.records
+        assert "parent" not in outer_begin
+        assert inner_begin["parent"] == outer_begin["span"]
+        assert event["span"] == inner_begin["span"]
+        # Ticks: begin(0), enter(1), begin(2), enter(3), event(4),
+        # inner end(5) → dur 5-3, outer end(6) → dur 6-1.
+        assert inner_end["dur_s"] == pytest.approx(2.0)
+        assert outer_end["dur_s"] == pytest.approx(5.0)
+        assert outer_begin["attrs"] == {"shard": 1}
+
+    def test_span_records_error_class_and_propagates(self):
+        sink = ListTraceSink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        end = sink.records[-1]
+        assert end["kind"] == "span_end"
+        assert end["error"] == "ValueError"
+
+    def test_iter_spans_joins_begin_end(self):
+        sink = ListTraceSink()
+        tracer = Tracer(sink)
+        with tracer.span("a", k="v"):
+            pass
+        joined = list(iter_spans(sink.records))
+        assert len(joined) == 1
+        assert joined[0]["name"] == "a"
+        assert joined[0]["attrs"] == {"k": "v"}
+        assert joined[0]["dur_s"] >= 0.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlTraceSink(path))
+        with tracer.span("outer"):
+            tracer.event("e", x=1)
+        tracer.close()
+        records = read_trace(path)
+        assert [r["kind"] for r in records] == [
+            "span_begin", "event", "span_end",
+        ]
+        assert check_artifacts(trace_path=path) == []
+
+    def test_corrupt_line_raises_strict_and_lax(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlTraceSink(path))
+        with tracer.span("outer"):
+            pass
+        tracer.close()
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("span_begin", "span_break")
+        path.write_text("\n".join(lines) + "\n")
+        # A corrupt *interior* line is corruption in both modes; only a
+        # torn final line is tolerated without strict.
+        with pytest.raises(TraceCorruptError):
+            read_trace(path, strict=True)
+        with pytest.raises(TraceCorruptError):
+            read_trace(path)
+
+    def test_torn_tail_tolerated_unless_strict(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlTraceSink(path))
+        with tracer.span("outer"):
+            pass
+        tracer.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])  # tear the last record
+        records = read_trace(path)
+        assert [r["kind"] for r in records] == ["span_begin"]
+        with pytest.raises(TraceCorruptError):
+            read_trace(path, strict=True)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        body = json.dumps({"kind": "event", "name": "x", "ts": 0.0})
+        path.write_text(body + "\n")
+        with pytest.raises(TraceCorruptError):
+            read_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# context helpers
+# ---------------------------------------------------------------------------
+
+
+class TestObservabilityContext:
+    def test_observed_sleep_counts_without_sleeping(self):
+        obs = Observability.in_memory()
+        observed_sleep(obs, 0.0, "shard_retry")
+        observed_sleep(obs, 0.0, "shard_retry")
+        assert obs.metrics.value(
+            "repro_sleep_seconds_total", reason="shard_retry"
+        ) == 0.0
+        events = [
+            r for r in obs.tracer._sink.records if r["kind"] == "event"
+        ]
+        assert len(events) == 2 and events[0]["name"] == "sleep"
+        observed_sleep(None, 0.0, "shard_retry")  # no-op without obs
+
+    def test_health_observer_bridge(self):
+        obs = Observability.in_memory()
+        health = CampaignHealthReport()
+        health.observer = obs
+        health.record("fault", "injected delay", shard=3)
+        health.record("retry", "shard 3 attempt 2", shard=3)
+        assert obs.metrics.value(
+            "repro_health_events_total", kind="fault"
+        ) == 1.0
+        assert obs.metrics.value(
+            "repro_health_events_total", kind="retry"
+        ) == 1.0
+        names = [
+            r["name"] for r in obs.tracer._sink.records
+            if r["kind"] == "event"
+        ]
+        assert names == ["health.fault", "health.retry"]
+        # The observer is a class-level default, never serialized.
+        assert "observer" not in health.to_dict()
+
+    def test_close_writes_metrics_and_trace(self, tmp_path):
+        metrics_path = tmp_path / "m.prom"
+        trace_path = tmp_path / "t.jsonl"
+        obs = Observability.create(metrics_path, trace_path)
+        obs.inc("repro_campaign_cpus_total", 2, engine="scalar")
+        with obs.tracer.span("campaign.run"):
+            pass
+        obs.close()
+        assert check_artifacts(metrics_path, trace_path) == []
+        report = render_report(metrics_path, trace_path)
+        assert "repro_campaign_cpus_total" in report
+        assert "campaign.run" in report
+
+
+# ---------------------------------------------------------------------------
+# logging setup
+# ---------------------------------------------------------------------------
+
+
+class TestLoggingSetup:
+    def test_handler_replaced_not_stacked(self):
+        first = logging_setup(verbose=0)
+        second = logging_setup(verbose=2)
+        named = [
+            h for h in second.handlers
+            if h.get_name() == "repro-obs-stderr"
+        ]
+        assert first is second
+        assert len(named) == 1
+        assert second.level == logging.DEBUG
+
+    def test_verbosity_mapping_and_explicit_level(self):
+        assert logging_setup(verbose=0).level == logging.WARNING
+        assert logging_setup(verbose=1).level == logging.INFO
+        assert logging_setup(verbose=5).level == logging.DEBUG
+        assert logging_setup("error").level == logging.ERROR
+        with pytest.raises(ValueError):
+            logging_setup("noisy")
+
+
+# ---------------------------------------------------------------------------
+# campaign determinism: telemetry must not perturb results
+# ---------------------------------------------------------------------------
+
+
+def _run_engine(engine_name, fleet, library, seed, obs):
+    if engine_name == "scalar":
+        engine = TestPipeline(fleet, library, seed=seed, obs=obs)
+        result = engine.run()
+        return result, engine._stream.consumed
+    if engine_name == "vectorized":
+        engine = VectorizedTestPipeline(fleet, library, seed=seed, obs=obs)
+        result = engine.run()
+        return result, engine._scalar._stream.consumed
+    with ParallelTestPipeline(
+        fleet, library, seed=seed, workers=2, shard_size=16, obs=obs
+    ) as engine:
+        result = engine.run()
+        return result, engine._scalar._stream.consumed
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.parametrize("engine_name", ["scalar", "vectorized", "parallel"])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_enabled_vs_disabled_bit_identical(
+        self, fleet, library, engine_name, seed
+    ):
+        plain, plain_position = _run_engine(
+            engine_name, fleet, library, seed, None
+        )
+        obs = Observability.in_memory()
+        traced, traced_position = _run_engine(
+            engine_name, fleet, library, seed, obs
+        )
+        assert traced.detections == plain.detections
+        assert traced.undetected_ids == plain.undetected_ids
+        assert traced_position == plain_position
+        assert len(plain.detections) > 20, "campaign must not be vacuous"
+        # And the telemetry actually recorded the campaign.
+        assert obs.metrics.total("repro_campaign_cpus_total") == float(
+            len(fleet.faulty)
+        )
+
+    def test_metric_totals_match_results_exactly(self, fleet, library):
+        obs = Observability.in_memory()
+        result, position = _run_engine("vectorized", fleet, library, 11, obs)
+        metrics = obs.metrics
+        assert metrics.value(
+            "repro_campaign_cpus_total", engine="vectorized"
+        ) == float(len(fleet.faulty))
+        assert metrics.total("repro_campaign_detections_total") == float(
+            len(result.detections)
+        )
+        assert metrics.value(
+            "repro_campaign_undetected_total", engine="vectorized"
+        ) == float(len(result.undetected_ids))
+        assert metrics.value(
+            "repro_campaign_draws_total", engine="vectorized"
+        ) == float(position)
+
+
+class TestWorkerAggregation:
+    def test_parallel_shard_metrics_sum_to_serial(self, fleet, library):
+        serial_obs = Observability.in_memory()
+        serial, serial_position = _run_engine(
+            "vectorized", fleet, library, 11, serial_obs
+        )
+        obs = Observability.in_memory()
+        result, position = _run_engine("parallel", fleet, library, 11, obs)
+        assert result.detections == serial.detections
+        assert position == serial_position
+        metrics = obs.metrics
+        # Worker-side snapshots merged in the parent must sum exactly
+        # to the serial engine's totals — nothing lost, nothing twice.
+        for name in (
+            "repro_campaign_cpus_total",
+            "repro_campaign_draws_total",
+            "repro_campaign_detections_total",
+            "repro_campaign_undetected_total",
+        ):
+            assert metrics.total(name) == serial_obs.metrics.total(name), name
+        shards = metrics.value(
+            "repro_campaign_shards_total", engine="parallel", outcome="ok"
+        )
+        assert shards == pytest.approx(len(fleet.faulty) // 16 + 1)
+        assert metrics.value(
+            "repro_parallel_tasks_total", phase="lower"
+        ) == shards
+        assert metrics.value(
+            "repro_parallel_tasks_total", phase="replay"
+        ) == shards
+
+    def test_degraded_pool_keeps_telemetry_complete(self, fleet, library):
+        """Pool death mid-campaign must not lose or double-count."""
+
+        class _DeadPool:
+            def submit(self, fn, item):
+                return None
+
+            def degrade(self, reason):
+                pass
+
+            def close(self, wait=True):
+                pass
+
+        plain, plain_position = _run_engine(
+            "vectorized", fleet, library, 11, None
+        )
+        obs = Observability.in_memory()
+        engine = ParallelTestPipeline(
+            fleet, library, seed=11, workers=4, shard_size=16, obs=obs
+        )
+        engine._pool = _DeadPool()
+        result = engine.run()
+        assert result.detections == plain.detections
+        assert engine._scalar._stream.consumed == plain_position
+        metrics = obs.metrics
+        assert metrics.value(
+            "repro_campaign_shards_total",
+            engine="parallel", outcome="degraded",
+        ) > 0
+        # The staged worker snapshots were dropped; the in-process
+        # rerun re-recorded the whole range under "vectorized".
+        assert metrics.value(
+            "repro_campaign_cpus_total", engine="vectorized"
+        ) == float(len(fleet.faulty))
+        assert metrics.total("repro_campaign_draws_total") == float(
+            plain_position
+        )
+        degraded = [
+            r for r in obs.tracer._sink.records
+            if r["kind"] == "event" and r["name"] == "parallel.degraded"
+        ]
+        assert degraded, "degradation must leave a trace event"
