@@ -110,6 +110,36 @@ def run(args: argparse.Namespace) -> dict:
             parallel_s = min(parallel_s, time.perf_counter() - start)
             parallel_position = engine._scalar._stream.consumed
 
+    # Worker-scaling curve: 1/2/4 workers (plus the default count when
+    # it differs), every point parity-checked against the scalar run.
+    # On a 1-core box the curve is still recorded honestly — it simply
+    # documents that no speedup is available — and the scaling gate in
+    # main() only engages at >= 4 effective cores.
+    curve_workers = sorted({1, 2, 4, workers})
+    scaling_curve = []
+    for count in curve_workers:
+        best_s = float("inf")
+        curve_result = None
+        for _ in range(args.repeats):
+            with ParallelTestPipeline(
+                fleet, library, trigger_model=TriggerModel(),
+                seed=args.seed, workers=count,
+            ) as engine:
+                start = time.perf_counter()
+                curve_result = engine.run()
+                best_s = min(best_s, time.perf_counter() - start)
+        assert (
+            [_detection_key(d) for d in curve_result.detections]
+            == [_detection_key(d) for d in scalar_result.detections]
+        ), f"parallel detections diverged at workers={count}"
+        scaling_curve.append({"workers": count, "seconds": round(best_s, 4)})
+    base_s = scaling_curve[0]["seconds"]
+    for point in scaling_curve:
+        point["speedup"] = round(base_s / point["seconds"], 2)
+        point["efficiency"] = round(
+            base_s / (point["seconds"] * point["workers"]), 2
+        )
+
     scalar_keys = [_detection_key(d) for d in scalar_result.detections]
     vector_keys = [_detection_key(d) for d in vectorized_result.detections]
     assert scalar_keys == vector_keys, "vectorized detections diverged"
@@ -157,6 +187,7 @@ def run(args: argparse.Namespace) -> dict:
         "detections": len(scalar_keys),
         "parity": "exact",
         "stream_position": serial_position,
+        "scaling_curve": scaling_curve,
         "environment": environment,
     }
     return fleet_report, parallel_report
@@ -183,6 +214,12 @@ def main(argv=None) -> int:
         help="fail unless parallel speedup reaches this (only enforced "
              "on machines with >= 4 effective cores; parity is always "
              "enforced)",
+    )
+    parser.add_argument(
+        "--min-scaling-efficiency", type=float, default=0.0,
+        help="fail unless the 4-worker point of the scaling curve keeps "
+             "at least this parallel efficiency (speedup/workers; only "
+             "enforced on machines with >= 4 effective cores)",
     )
     parser.add_argument(
         "--out",
@@ -219,6 +256,11 @@ def main(argv=None) -> int:
         f"({parallel_report['environment']['effective_cores']} effective "
         f"cores, parity exact)"
     )
+    curve = " ".join(
+        f"x{p['workers']}={p['seconds']:.3f}s({p['speedup']:.2f}x)"
+        for p in parallel_report["scaling_curve"]
+    )
+    print(f"scaling curve: {curve}")
     logger.info("wrote %s and %s", args.out, args.parallel_out)
     cores = parallel_report["environment"]["effective_cores"]
     if args.min_parallel_speedup > 0.0 and cores >= 4:
@@ -228,6 +270,20 @@ def main(argv=None) -> int:
                 parallel_report["parallel_speedup"],
                 args.min_parallel_speedup,
                 cores,
+            )
+            return 1
+    if args.min_scaling_efficiency > 0.0 and cores >= 4:
+        four = next(
+            (
+                p for p in parallel_report["scaling_curve"]
+                if p["workers"] == 4
+            ),
+            None,
+        )
+        if four is not None and four["efficiency"] < args.min_scaling_efficiency:
+            logger.error(
+                "FAIL: 4-worker efficiency %.2f below gate %.2f on %d cores",
+                four["efficiency"], args.min_scaling_efficiency, cores,
             )
             return 1
     return 0

@@ -46,6 +46,9 @@ from .precision import PrecisionSummary
 
 __all__ = [
     "RecordFrame",
+    "DetectionFrame",
+    "save_record_frame",
+    "load_record_frame",
     "popcount_u64",
     "bitflip_histogram_frame",
     "flip_direction_fraction_frame",
@@ -512,3 +515,265 @@ def summarize_precision_frame(
         below_5pct=below(5.0 / 100.0),
         above_100pct=int(np.count_nonzero(losses > 100.0 / 100.0)) / n,
     )
+
+
+# -- spill-to-disk (out-of-core analytics) ------------------------------------
+
+#: RecordFrame array fields, in canonical column order for persistence.
+_RECORD_COLUMNS: Tuple[str, ...] = (
+    "expected_lo",
+    "expected_hi",
+    "actual_lo",
+    "actual_hi",
+    "mask_lo",
+    "mask_hi",
+    "dtype_code",
+    "setting_code",
+    "processor_code",
+    "testcase_code",
+    "precision_loss",
+)
+
+
+def save_record_frame(frame: RecordFrame, directory, obs=None) -> int:
+    """Spill a :class:`RecordFrame` through :mod:`repro.colstore`.
+
+    Columns land one ``.npy`` per field under a CRC-checked manifest;
+    the code tables travel in the manifest's meta.  Returns bytes
+    written.
+    """
+    from ..colstore import write_columns
+
+    meta = {
+        "kind": "record-frame",
+        "settings": [list(key) for key in frame.settings],
+        "processors": list(frame.processors),
+        "testcases": list(frame.testcases),
+    }
+    columns = {name: getattr(frame, name) for name in _RECORD_COLUMNS}
+    return write_columns(directory, columns, meta=meta, obs=obs)
+
+
+def load_record_frame(
+    directory, mmap: bool = True, verify: bool = False
+) -> RecordFrame:
+    """Map a spilled :class:`RecordFrame` back (zero-copy by default).
+
+    Kernels run unchanged over the memory-mapped columns, paging only
+    the bytes each one touches — figure analytics over millions of
+    records never need the corpus resident.
+    """
+    from ..colstore import read_columns
+
+    columns, meta = read_columns(directory, mmap=mmap, verify=verify)
+    missing = [name for name in _RECORD_COLUMNS if name not in columns]
+    if missing:
+        raise ConfigurationError(
+            f"record-frame store {directory} missing columns: {missing}"
+        )
+    return RecordFrame(
+        settings=tuple(
+            (str(p), str(t)) for p, t in meta.get("settings", [])
+        ),
+        processors=tuple(meta.get("processors", [])),
+        testcases=tuple(meta.get("testcases", [])),
+        **{name: columns[name] for name in _RECORD_COLUMNS},
+    )
+
+
+# -- detection analytics (Tables 1-2 over campaign results) -------------------
+
+
+@dataclass
+class DetectionFrame:
+    """Struct-of-arrays view of a campaign's detections.
+
+    A :class:`~repro.fleet.pipeline.FleetStudyResult` holds one
+    :class:`~repro.fleet.pipeline.Detection` object per caught CPU; at
+    paper scale that is hundreds of thousands of frozen dataclasses.
+    This frame lowers them to a few integer/float columns plus string
+    code tables (first-appearance order, matching the result's grouped
+    dict orders), spills through :mod:`repro.colstore`, and reproduces
+    the :mod:`repro.fleet.stats` Table 1/2 rates bit-identically —
+    integer count ratios divide to the same doubles.
+    """
+
+    population_total: int
+    arch_counts: Dict[str, int]
+    stage_code: np.ndarray
+    arch_code: np.ndarray
+    processor_code: np.ndarray
+    day: np.ndarray
+    #: Ragged failing-testcase lists: row ``i`` owns
+    #: ``tc_code[tc_offsets[i]:tc_offsets[i+1]]``.
+    tc_offsets: np.ndarray
+    tc_code: np.ndarray
+    stage_names: Tuple[str, ...]
+    arch_names: Tuple[str, ...]
+    processor_ids: Tuple[str, ...]
+    testcase_ids: Tuple[str, ...]
+    undetected_ids: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.stage_code)
+
+    @classmethod
+    def from_result(cls, result) -> "DetectionFrame":
+        n = len(result.detections)
+        stage_code = np.empty(n, np.int16)
+        arch_code = np.empty(n, np.int16)
+        processor_code = np.empty(n, np.int32)
+        day = np.empty(n, np.float64)
+        tc_offsets = np.empty(n + 1, np.int64)
+        tc_flat: List[int] = []
+        stages: Dict[str, int] = {}
+        archs: Dict[str, int] = {}
+        processors: Dict[str, int] = {}
+        testcases: Dict[str, int] = {}
+
+        def code_of(table: Dict[str, int], name: str) -> int:
+            code = table.get(name)
+            if code is None:
+                code = len(table)
+                table[name] = code
+            return code
+
+        tc_offsets[0] = 0
+        for row, detection in enumerate(result.detections):
+            stage_code[row] = code_of(stages, detection.stage_name)
+            arch_code[row] = code_of(archs, detection.arch_name)
+            processor_code[row] = code_of(processors, detection.processor_id)
+            day[row] = detection.day
+            tc_flat.extend(
+                code_of(testcases, tc)
+                for tc in detection.failing_testcase_ids
+            )
+            tc_offsets[row + 1] = len(tc_flat)
+        return cls(
+            population_total=result.population_total,
+            arch_counts=dict(result.arch_counts),
+            stage_code=stage_code,
+            arch_code=arch_code,
+            processor_code=processor_code,
+            day=day,
+            tc_offsets=tc_offsets,
+            tc_code=np.asarray(tc_flat, dtype=np.int32),
+            stage_names=tuple(stages),
+            arch_names=tuple(archs),
+            processor_ids=tuple(processors),
+            testcase_ids=tuple(testcases),
+            undetected_ids=tuple(result.undetected_ids),
+        )
+
+    def to_result(self):
+        """Rebuild the exact :class:`~repro.fleet.pipeline.FleetStudyResult`.
+
+        Round-trip identity (``from_result(r).to_result() == r``) is
+        what lets a campaign spill its detections and still hand later
+        stages objects indistinguishable from the in-memory run's.
+        """
+        from ..fleet.pipeline import Detection, FleetStudyResult
+
+        result = FleetStudyResult(
+            population_total=self.population_total,
+            arch_counts=dict(self.arch_counts),
+            undetected_ids=list(self.undetected_ids),
+        )
+        for row in range(len(self)):
+            lo = int(self.tc_offsets[row])
+            hi = int(self.tc_offsets[row + 1])
+            result.detections.append(
+                Detection(
+                    processor_id=self.processor_ids[
+                        int(self.processor_code[row])
+                    ],
+                    arch_name=self.arch_names[int(self.arch_code[row])],
+                    stage_name=self.stage_names[int(self.stage_code[row])],
+                    day=float(self.day[row]),
+                    failing_testcase_ids=tuple(
+                        self.testcase_ids[int(code)]
+                        for code in self.tc_code[lo:hi]
+                    ),
+                )
+            )
+        return result
+
+    # -- Table 1/2 kernels (bit-parity with repro.fleet.stats) ---------------
+
+    def overall_failure_rate(self) -> float:
+        return len(self) / self.population_total
+
+    def timing_failure_rates(self) -> Dict[str, float]:
+        """Columnar :func:`repro.fleet.stats.timing_failure_rates`."""
+        counts = np.bincount(self.stage_code, minlength=len(self.stage_names))
+        rates = {
+            stage: int(counts[code]) / self.population_total
+            for code, stage in enumerate(self.stage_names)
+        }
+        rates["total"] = self.overall_failure_rate()
+        return rates
+
+    def arch_failure_rates(self) -> Dict[str, float]:
+        """Columnar :func:`repro.fleet.stats.arch_failure_rates`."""
+        counts = np.bincount(self.arch_code, minlength=len(self.arch_names))
+        by_arch = {
+            arch: int(counts[code])
+            for code, arch in enumerate(self.arch_names)
+        }
+        return {
+            arch: by_arch.get(arch, 0) / count
+            for arch, count in self.arch_counts.items()
+            if count > 0
+        }
+
+    def failing_testcases(self) -> set:
+        """Columnar :meth:`FleetStudyResult.failing_testcases`."""
+        return {self.testcase_ids[int(code)] for code in np.unique(self.tc_code)}
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory, obs=None) -> int:
+        from ..colstore import write_columns
+
+        meta = {
+            "kind": "detection-frame",
+            "population_total": self.population_total,
+            "arch_counts": dict(self.arch_counts),
+            "stage_names": list(self.stage_names),
+            "arch_names": list(self.arch_names),
+            "processor_ids": list(self.processor_ids),
+            "testcase_ids": list(self.testcase_ids),
+            "undetected_ids": list(self.undetected_ids),
+        }
+        columns = {
+            "stage_code": self.stage_code,
+            "arch_code": self.arch_code,
+            "processor_code": self.processor_code,
+            "day": self.day,
+            "tc_offsets": self.tc_offsets,
+            "tc_code": self.tc_code,
+        }
+        return write_columns(directory, columns, meta=meta, obs=obs)
+
+    @classmethod
+    def load(
+        cls, directory, mmap: bool = True, verify: bool = False
+    ) -> "DetectionFrame":
+        from ..colstore import read_columns
+
+        columns, meta = read_columns(directory, mmap=mmap, verify=verify)
+        return cls(
+            population_total=int(meta["population_total"]),
+            arch_counts={k: int(v) for k, v in meta["arch_counts"].items()},
+            stage_code=columns["stage_code"],
+            arch_code=columns["arch_code"],
+            processor_code=columns["processor_code"],
+            day=columns["day"],
+            tc_offsets=columns["tc_offsets"],
+            tc_code=columns["tc_code"],
+            stage_names=tuple(meta["stage_names"]),
+            arch_names=tuple(meta["arch_names"]),
+            processor_ids=tuple(meta["processor_ids"]),
+            testcase_ids=tuple(meta["testcase_ids"]),
+            undetected_ids=tuple(meta["undetected_ids"]),
+        )

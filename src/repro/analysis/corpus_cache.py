@@ -36,6 +36,7 @@ from ..errors import CheckpointError
 from ..resilience.checkpoint import read_checkpoint, write_checkpoint
 from ..testing.library import TestcaseLibrary
 from ..testing.records import ConsistencyRecord, RecordStore, SDCRecord
+from .columnar import RecordFrame, load_record_frame, save_record_frame
 from .observations import build_catalog_corpus
 
 __all__ = [
@@ -173,9 +174,39 @@ class CorpusCache:
         #: Whether the last :meth:`get_or_build` call was served from
         #: disk — observable for tests and benchmark reporting.
         self.last_hit: Optional[bool] = None
+        # Fingerprint memo: hashing walks every processor descriptor and
+        # testcase id (O(catalog)); repeat lookups of the same live
+        # objects are the overwhelmingly common case (every figure
+        # benchmark re-keys the same corpus), so memoize on object
+        # identity + parameters.  The pin list keeps the keyed objects
+        # alive so a recycled ``id()`` can never alias a stale entry.
+        self._fingerprints: Dict[tuple, str] = {}
+        self._pins: list = []
+
+    def fingerprint(
+        self,
+        catalog: Dict[str, Processor],
+        library: TestcaseLibrary,
+        **parameters: object,
+    ) -> str:
+        """Memoized :func:`corpus_fingerprint` — O(1) on repeat lookups."""
+        key = (
+            id(catalog),
+            id(library),
+            tuple((k, repr(v)) for k, v in sorted(parameters.items())),
+        )
+        cached = self._fingerprints.get(key)
+        if cached is None:
+            cached = corpus_fingerprint(catalog, library, **parameters)
+            self._fingerprints[key] = cached
+            self._pins.append((catalog, library))
+        return cached
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{self._PREFIX}{key}{self._SUFFIX}"
+
+    def frame_path_for(self, key: str) -> Path:
+        return self.directory / f"frame-{key}"
 
     def get_or_build(
         self, key: str, builder: Callable[[], RecordStore]
@@ -203,6 +234,38 @@ class CorpusCache:
             pass
         return store
 
+    def frame_for(
+        self,
+        key: str,
+        builder: Callable[[], RecordStore],
+        mmap: bool = True,
+        obs=None,
+    ) -> RecordFrame:
+        """The columnar frame for ``key``, memory-mapped on hit.
+
+        The out-of-core analytics path: a hit maps the spilled column
+        files read-only (O(columns) validation, no record decoding at
+        all); a miss materializes the store via ``builder`` (through the
+        corpus cache, so the raw records are also reusable), lowers it
+        once, and spills the frame beside the corpus snapshot.
+        """
+        directory = self.frame_path_for(key)
+        try:
+            frame = load_record_frame(directory, mmap=mmap)
+        except CheckpointError:
+            pass
+        else:
+            self.last_hit = True
+            return frame
+        store = self.get_or_build(key, builder)
+        self.last_hit = False
+        frame = RecordFrame.from_store(store)
+        try:
+            save_record_frame(frame, directory, obs=obs)
+        except CheckpointError:  # pragma: no cover - read-only cache dir
+            pass
+        return frame
+
     def catalog_corpus(
         self,
         catalog: Dict[str, Processor],
@@ -218,7 +281,7 @@ class CorpusCache:
         identical either way, which is exactly what the fingerprint key
         asserts.
         """
-        key = corpus_fingerprint(
+        key = self.fingerprint(
             catalog,
             library,
             temperature_c=temperature_c,

@@ -101,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=256,
         help="faulty CPUs per shard, the checkpoint/retry granule",
     )
+    fleet.add_argument(
+        "--max-resident-cpus", type=int, default=0, metavar="N",
+        help="out-of-core mode: stream population generation and bound "
+             "resident materialized Processors to N (0 = classic "
+             "fully-in-memory path); shards are clamped to N so the "
+             "engines never request a larger window",
+    )
+    fleet.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="spill the campaign's detections (and, in out-of-core "
+             "mode, the fleet frame) to CRC-checked column stores here",
+    )
 
     sub.add_parser(
         "catalog", parents=[obs],
@@ -197,12 +209,21 @@ def _cmd_fleet_study(args, obs=None) -> int:
     from .resilience import CampaignSpec, CheckpointStore, ResilientCampaign
     from .testing import build_library
 
+    if args.max_resident_cpus < 0:
+        logger.error("error: --max-resident-cpus must be >= 0")
+        return 2
+    shard_size = args.shard_size
+    if args.max_resident_cpus:
+        # The resident bound only holds if no engine ever asks for a
+        # Processor range wider than the frame window.
+        shard_size = min(shard_size, args.max_resident_cpus)
     spec = CampaignSpec(
         total_processors=args.size,
         fleet_seed=args.seed,
         pipeline_seed=args.seed,
         engine=args.engine,
-        shard_size=args.shard_size,
+        shard_size=shard_size,
+        max_resident_cpus=args.max_resident_cpus,
     )
     store = (
         CheckpointStore(args.checkpoint_dir)
@@ -216,15 +237,39 @@ def _cmd_fleet_study(args, obs=None) -> int:
         workers=args.workers,
         obs=obs,
     )
-    result = campaign.run()
+    with campaign:
+        result = campaign.run()
     _print_fleet_tables(result)
     logger.info("campaign health: %s", campaign.health.summary())
+    if args.spill_dir is not None:
+        _spill_study(args.spill_dir, campaign, result, obs)
     if store is not None:
         logger.info(
             "snapshots in %s (continue with: repro resume %s)",
             store.directory, store.directory,
         )
     return 0
+
+
+def _spill_study(spill_dir, campaign, result, obs=None) -> None:
+    """Spill campaign outputs as memory-mappable column stores."""
+    from pathlib import Path
+
+    from .analysis import DetectionFrame
+
+    base = Path(spill_dir)
+    frame = DetectionFrame.from_result(result)
+    written = frame.save(base / "detections", obs=obs)
+    logger.info(
+        "spilled %d detections to %s (%d bytes)",
+        len(frame), base / "detections", written,
+    )
+    fleet_frame = getattr(campaign.population, "frame", None)
+    if fleet_frame is not None:
+        written = fleet_frame.save(base / "fleet", obs=obs)
+        logger.info(
+            "spilled fleet frame to %s (%d bytes)", base / "fleet", written
+        )
 
 
 def _cmd_resume(args, obs=None) -> int:
@@ -244,7 +289,8 @@ def _cmd_resume(args, obs=None) -> int:
         "resuming at cursor %d of %d faulty CPUs",
         campaign.cursor, len(campaign.population.faulty),
     )
-    result = campaign.run()
+    with campaign:
+        result = campaign.run()
     _print_fleet_tables(result)
     logger.info("campaign health: %s", campaign.health.summary())
     return 0

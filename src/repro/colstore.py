@@ -1,0 +1,276 @@
+"""Self-checking on-disk column store for out-of-core analytics.
+
+Fleet-scale campaigns produce record populations that no longer fit
+comfortably in RAM next to the population that generated them; the
+out-of-core path spills struct-of-arrays frames to disk and reads them
+back as memory-mapped columns, so analytics stream pages on demand
+instead of holding every record resident.
+
+The container follows the campaign checkpoint conventions
+(:mod:`repro.resilience.checkpoint`) without importing that package
+(this module sits below the fleet/resilience layers):
+
+* **one ``.npy`` file per column** — plain NumPy format, no pickling,
+  so a reader maps the column zero-copy (``np.load(mmap_mode="r")``);
+* **atomic writes** — every column and the manifest go through a temp
+  file, ``fsync``, and ``os.replace``, so a crash mid-spill leaves
+  either the previous store or an incomplete one that fails its check,
+  never a silently torn column;
+* **CRC-32 self-check** — the manifest records each column file's
+  CRC-32, dtype, shape, and byte size, and is itself a canonical-JSON
+  document carrying its own CRC.  A default read verifies *metadata
+  only* (O(columns), not O(bytes)); ``verify=True`` re-hashes every
+  column file for the paranoid path.
+
+The manifest is written **last**: a store is valid iff its manifest
+parses and self-checks, which is what makes the write atomic at the
+store level despite spanning multiple files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+)
+
+__all__ = [
+    "COLSTORE_FORMAT",
+    "COLSTORE_VERSION",
+    "MANIFEST_NAME",
+    "write_columns",
+    "read_columns",
+]
+
+COLSTORE_FORMAT = "repro-column-store"
+COLSTORE_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+_CRC_CHUNK = 1 << 20
+
+
+def _canonical(payload: Dict[str, object]) -> bytes:
+    """Canonical manifest payload bytes — the CRC domain (matches the
+    checkpoint container's encoding rules)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def _file_crc32(path: Path) -> int:
+    """CRC-32 of a file, streamed in chunks (never loads it whole)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(_CRC_CHUNK)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
+
+
+def _atomic_replace(tmp: Path, path: Path) -> None:
+    try:
+        os.replace(tmp, path)
+    except OSError as error:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise CheckpointError(
+            f"cannot finalize column-store file {path}: {error}"
+        ) from error
+
+
+def write_columns(
+    directory: os.PathLike,
+    columns: Dict[str, np.ndarray],
+    meta: Optional[Dict[str, object]] = None,
+    obs=None,
+) -> int:
+    """Spill named columns into ``directory``; returns bytes written.
+
+    Column names become file names, so they must be simple identifiers.
+    An existing store at the same path is replaced column-by-column;
+    the new manifest only lands (atomically) after every column did.
+    When ``obs`` is given, the spilled bytes are counted into
+    ``repro_spill_bytes_total``.
+    """
+    directory = Path(directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot create column store {directory}: {error}"
+        ) from error
+    manifest_columns: Dict[str, object] = {}
+    total_bytes = 0
+    for name, array in columns.items():
+        if not name.isidentifier():
+            raise CheckpointError(
+                f"column name {name!r} is not a valid identifier"
+            )
+        arr = np.ascontiguousarray(array)
+        path = directory / f"{name}.npy"
+        tmp = directory / f"{name}.npy.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                np.lib.format.write_array(handle, arr, allow_pickle=False)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as error:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise CheckpointError(
+                f"cannot write column {name!r} to {directory}: {error}"
+            ) from error
+        _atomic_replace(tmp, path)
+        size = path.stat().st_size
+        total_bytes += size
+        manifest_columns[name] = {
+            "file": path.name,
+            "crc32": _file_crc32(path),
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "bytes": size,
+        }
+    payload = {"columns": manifest_columns, "meta": dict(meta or {})}
+    document = {
+        "format": COLSTORE_FORMAT,
+        "version": COLSTORE_VERSION,
+        "crc32": zlib.crc32(_canonical(payload)),
+        "payload": payload,
+    }
+    manifest = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    body = json.dumps(document, allow_nan=False).encode("utf-8")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as error:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise CheckpointError(
+            f"cannot write column-store manifest {manifest}: {error}"
+        ) from error
+    _atomic_replace(tmp, manifest)
+    total_bytes += manifest.stat().st_size
+    if obs is not None:
+        obs.inc("repro_spill_bytes_total", total_bytes)
+    return total_bytes
+
+
+def _load_manifest(directory: Path) -> Dict[str, object]:
+    manifest = directory / MANIFEST_NAME
+    try:
+        raw = manifest.read_bytes()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read column-store manifest {manifest}: {error}"
+        ) from error
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CheckpointCorruptError(
+            f"column-store manifest {manifest} is not valid JSON "
+            f"(torn write?): {error}"
+        ) from error
+    if not isinstance(document, dict) or document.get("format") != COLSTORE_FORMAT:
+        raise CheckpointCorruptError(
+            f"{manifest} lacks the {COLSTORE_FORMAT!r} header"
+        )
+    version = document.get("version")
+    if version != COLSTORE_VERSION:
+        raise CheckpointVersionError(
+            f"{manifest} has format version {version!r}; this build reads "
+            f"version {COLSTORE_VERSION}"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(f"{manifest} has no payload object")
+    crc = zlib.crc32(_canonical(payload))
+    if crc != document.get("crc32"):
+        raise CheckpointCorruptError(
+            f"{manifest} failed its CRC self-check "
+            f"(stored {document.get('crc32')!r}, computed {crc})"
+        )
+    return payload
+
+
+def read_columns(
+    directory: os.PathLike,
+    mmap: bool = True,
+    verify: bool = False,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Load a spilled store: ``(columns, meta)``.
+
+    The default is the out-of-core fast path: columns come back as
+    read-only memory maps and only *metadata* is checked (manifest CRC,
+    per-column file size / dtype / shape), which is O(columns) no
+    matter how many gigabytes the store holds.  ``verify=True`` also
+    re-hashes every column file against its recorded CRC-32 before
+    mapping — O(bytes), for integrity audits.  ``mmap=False`` reads
+    columns fully into memory.
+    """
+    directory = Path(directory)
+    payload = _load_manifest(directory)
+    described = payload.get("columns")
+    if not isinstance(described, dict):
+        raise CheckpointCorruptError(
+            f"column store {directory} manifest describes no columns"
+        )
+    columns: Dict[str, np.ndarray] = {}
+    for name, entry in described.items():
+        path = directory / str(entry["file"])
+        try:
+            size = path.stat().st_size
+        except OSError as error:
+            raise CheckpointCorruptError(
+                f"column store {directory} is missing column file "
+                f"{entry['file']!r}: {error}"
+            ) from error
+        if size != entry["bytes"]:
+            raise CheckpointCorruptError(
+                f"column {name!r} in {directory} is {size} bytes; manifest "
+                f"recorded {entry['bytes']} (torn write?)"
+            )
+        if verify:
+            crc = _file_crc32(path)
+            if crc != entry["crc32"]:
+                raise CheckpointCorruptError(
+                    f"column {name!r} in {directory} failed its CRC "
+                    f"self-check (stored {entry['crc32']}, computed {crc})"
+                )
+        try:
+            array = np.load(
+                path, mmap_mode="r" if mmap else None, allow_pickle=False
+            )
+        except (OSError, ValueError) as error:
+            raise CheckpointCorruptError(
+                f"column {name!r} in {directory} is unreadable: {error}"
+            ) from error
+        if array.dtype.str != entry["dtype"] or list(array.shape) != list(
+            entry["shape"]
+        ):
+            raise CheckpointCorruptError(
+                f"column {name!r} in {directory} is {array.dtype.str}"
+                f"{array.shape}; manifest recorded {entry['dtype']}"
+                f"{tuple(entry['shape'])}"
+            )
+        columns[name] = array
+    meta = payload.get("meta")
+    return columns, dict(meta) if isinstance(meta, dict) else {}

@@ -1,6 +1,21 @@
 """Fleet simulation: population, topology, staged test pipeline, stats."""
 
-from .population import FleetPopulation, FleetSpec, OnsetMixture, generate_fleet
+from .population import (
+    FleetChunk,
+    FleetPopulation,
+    FleetSpec,
+    OnsetMixture,
+    fleet_arch_counts,
+    generate_fleet,
+    iter_fleet_chunks,
+)
+from .frame import (
+    FleetFrame,
+    FrameFleetPopulation,
+    LazyFaultyList,
+    generate_fleet_frame,
+)
+from .shm import SharedFleetFrame, SharedFrameHandle, shared_memory_available
 from .machine import (
     Cluster,
     Datacenter,
@@ -21,10 +36,20 @@ from .vectorized import VectorizedTestPipeline
 from . import stats
 
 __all__ = [
+    "FleetChunk",
     "FleetPopulation",
     "FleetSpec",
     "OnsetMixture",
+    "fleet_arch_counts",
     "generate_fleet",
+    "iter_fleet_chunks",
+    "FleetFrame",
+    "FrameFleetPopulation",
+    "LazyFaultyList",
+    "generate_fleet_frame",
+    "SharedFleetFrame",
+    "SharedFrameHandle",
+    "shared_memory_available",
     "Cluster",
     "Datacenter",
     "FleetTopology",

@@ -53,6 +53,7 @@ from ..perf.parallel import DeterministicPool, default_workers
 from ..testing.library import TestcaseLibrary
 from .pipeline import FleetStudyResult, PipelineConfig
 from .population import FleetPopulation
+from .shm import SharedFleetFrame, SharedFrameHandle, shared_memory_available
 from .vectorized import VectorizedTestPipeline
 
 __all__ = ["ParallelTestPipeline"]
@@ -67,12 +68,21 @@ _WORKER_CTX: Optional[VectorizedTestPipeline] = None
 #: snapshot back with its result, so per-shard metrics survive the
 #: process boundary and merge exactly in the parent.
 _WORKER_OBS = False
+#: Worker-side attachment to the parent's shared fleet segment; held in
+#: a module global so the mapping outlives the initializer call for as
+#: long as the worker process does.
+_WORKER_SHM: Optional[SharedFleetFrame] = None
 
 
 def _worker_init(
     population, library, config, trigger_model, seed, obs_enabled=False
 ) -> None:
-    global _WORKER_CTX, _WORKER_OBS
+    global _WORKER_CTX, _WORKER_OBS, _WORKER_SHM
+    if isinstance(population, SharedFrameHandle):
+        # Zero-copy path: the parent shipped a segment name instead of a
+        # pickled population; attach and read columns in place.
+        _WORKER_SHM = SharedFleetFrame.attach(population)
+        population = _WORKER_SHM.population()
     _WORKER_CTX = VectorizedTestPipeline(
         population, library, config, trigger_model, seed
     )
@@ -208,6 +218,7 @@ class ParallelTestPipeline:
         # ResilientCampaign's engine mixing shares one registry.
         self.obs = engine.obs
         self._pool: Optional[DeterministicPool] = None
+        self._shared: Optional[SharedFleetFrame] = None
         # Workers rebuild the engine from the *resolved* config and
         # trigger model, so defaulted and explicit construction pickle
         # the same objects.  The obs flag makes workers record per-task
@@ -221,13 +232,50 @@ class ParallelTestPipeline:
             engine.obs is not None,
         )
 
+    def _shm_payload(self) -> Optional[tuple]:
+        """The zero-copy init payload, or ``None`` for the pickle path.
+
+        Frame-backed populations publish their SoA columns into one
+        shared segment and hand workers a few-hundred-byte handle; any
+        failure (no /dev/shm, exhausted segment quota) degrades to the
+        classic pickled-population payload, recorded in health.
+        """
+        frame = getattr(self.population, "frame", None)
+        if frame is None or not shared_memory_available():
+            return None
+        try:
+            window = getattr(
+                self.population.faulty, "window", self.shard_size or 256
+            )
+            self._shared = SharedFleetFrame.create(frame, window=window)
+        except (OSError, ValueError) as error:
+            if self.health is not None:
+                self.health.record(
+                    _KIND_DEGRADATION,
+                    f"shared-memory frame -> pickled population: {error}",
+                )
+            return None
+        if self.obs is not None:
+            self.obs.set_gauge("repro_shm_bytes", self._shared.nbytes)
+        return (self._shared.handle,) + self._init_payload[1:]
+
+    def _release_shm(self) -> None:
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+            if self.obs is not None:
+                self.obs.set_gauge("repro_shm_bytes", 0)
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release shared memory (idempotent)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        # POSIX unlink with live worker mappings is safe: the kernel
+        # frees the pages when the last mapping goes away.
+        self._release_shm()
 
     def __enter__(self) -> "ParallelTestPipeline":
         return self
@@ -237,10 +285,11 @@ class ParallelTestPipeline:
 
     def _ensure_pool(self) -> DeterministicPool:
         if self._pool is None:
+            initargs = self._shm_payload() or self._init_payload
             self._pool = DeterministicPool(
                 workers=self.workers,
                 initializer=_worker_init,
-                initargs=self._init_payload,
+                initargs=initargs,
                 health=self.health,
             )
         return self._pool
@@ -315,6 +364,10 @@ class ParallelTestPipeline:
                     "parallel.degraded",
                     start=start, stop=stop, reason=str(error),
                 )
+            # Pool degradation is permanent; nothing will attach to the
+            # published segment again, so release it now rather than at
+            # close().
+            self._release_shm()
             # Rewind to the call's entry state and take the identical-
             # output serial path.
             del result.detections[entry_detections:]

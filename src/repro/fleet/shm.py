@@ -1,0 +1,224 @@
+"""Zero-copy shared-memory transport for fleet frames.
+
+The parallel engine's pickle path serializes the whole population into
+every worker — at paper scale that is megabytes of redundant copies
+plus deserialization time per worker.  A :class:`SharedFleetFrame`
+instead publishes the frame's SoA columns once, in a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment; workers
+attach by name and build numpy views straight into the parent's pages.
+No column bytes are copied anywhere.
+
+Lifecycle discipline (the part that actually goes wrong in practice):
+
+* the **parent owns the segment** — only the creating side ever calls
+  ``unlink``; :meth:`SharedFleetFrame.close` is idempotent so the
+  engine can release on pool teardown *and* on the degradation path
+  without double-unlink errors;
+* **workers never unregister** — pool workers share the parent's
+  resource-tracker process (its fd is inherited by fork and spawn
+  alike), so the attach-side registration CPython < 3.13 performs
+  (bpo-39959) lands in the same shared name cache as the parent's and
+  is a harmless duplicate; unregistering from a worker would strip the
+  parent's protective entry instead;
+* a ``weakref.finalize`` backstop unlinks the segment if the owner is
+  garbage-collected without ``close()`` — and if the parent dies hard,
+  its own resource tracker reclaims the segment, which is exactly the
+  "worker crash must not leak" guarantee the chaos suite checks.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib, but gate for exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+from ..errors import ConfigurationError
+from .frame import FRAME_COLUMNS, FleetFrame, FrameFleetPopulation
+from .population import DEFAULT_CHUNK_SIZE, FleetSpec
+
+__all__ = [
+    "shared_memory_available",
+    "SharedFrameHandle",
+    "SharedFleetFrame",
+]
+
+_ALIGN = 8
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory actually works here.
+
+    Containers without ``/dev/shm`` (or with it mounted noexec/ro) fail
+    at segment creation, not import — so probe by creating one.
+    """
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - cleanup best-effort
+        pass
+    return True
+
+
+@dataclass(frozen=True)
+class SharedFrameHandle:
+    """Everything a worker needs to attach a published frame.
+
+    Pickled into pool initargs in place of the population itself —
+    a few hundred bytes regardless of fleet size.  ``columns`` holds
+    ``(name, dtype_str, byte_offset, length)`` per frame column.
+    """
+
+    shm_name: str
+    columns: Tuple[Tuple[str, str, int, int], ...]
+    spec: FleetSpec
+    arch_names: Tuple[str, ...]
+    arch_counts: Tuple[Tuple[str, int], ...]
+    window: int
+    nbytes: int
+
+
+def _views(
+    handle: SharedFrameHandle, buffer
+) -> Dict[str, np.ndarray]:
+    views: Dict[str, np.ndarray] = {}
+    for name, dtype_str, offset, length in handle.columns:
+        views[name] = np.ndarray(
+            (length,), dtype=np.dtype(dtype_str), buffer=buffer, offset=offset
+        )
+    return views
+
+
+class SharedFleetFrame:
+    """One published fleet frame: segment + attached numpy views."""
+
+    def __init__(
+        self,
+        shm: "shared_memory.SharedMemory",
+        handle: SharedFrameHandle,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.handle = handle
+        self._owner = owner
+        self._closed = False
+        self.frame = FleetFrame(
+            spec=handle.spec,
+            arch_names=handle.arch_names,
+            arch_counts=dict(handle.arch_counts),
+            columns=_views(handle, shm.buf),
+        )
+        if owner:
+            # Backstop only: normal teardown goes through close().
+            self._finalizer = weakref.finalize(
+                self, _cleanup_segment, shm, True
+            )
+        else:
+            self._finalizer = weakref.finalize(
+                self, _cleanup_segment, shm, False
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, frame: FleetFrame, window: int = DEFAULT_CHUNK_SIZE
+    ) -> "SharedFleetFrame":
+        """Publish ``frame``'s columns into a fresh segment (one copy)."""
+        if shared_memory is None:
+            raise ConfigurationError("multiprocessing.shared_memory unavailable")
+        layout = []
+        offset = 0
+        for name in FRAME_COLUMNS:
+            array = np.ascontiguousarray(frame.columns[name])
+            layout.append((name, array))
+            offset += -offset % _ALIGN
+            offset += array.nbytes
+        total = max(offset, 1)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        columns = []
+        offset = 0
+        try:
+            for name, array in layout:
+                offset += -offset % _ALIGN
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset
+                )
+                view[:] = array
+                columns.append((name, array.dtype.str, offset, len(array)))
+                offset += array.nbytes
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        handle = SharedFrameHandle(
+            shm_name=shm.name,
+            columns=tuple(columns),
+            spec=frame.spec,
+            arch_names=frame.arch_names,
+            arch_counts=tuple(sorted(frame.arch_counts.items())),
+            window=window,
+            nbytes=total,
+        )
+        return cls(shm, handle, owner=True)
+
+    @classmethod
+    def attach(cls, handle: SharedFrameHandle) -> "SharedFleetFrame":
+        """Worker-side attach by name; never owns (never unlinks)."""
+        if shared_memory is None:
+            raise ConfigurationError("multiprocessing.shared_memory unavailable")
+        # CPython < 3.13 registers attached segments with the resource
+        # tracker too (bpo-39959).  Pool workers inherit the *parent's*
+        # tracker process, whose name cache is one shared set, so the
+        # duplicate registration is a no-op — and unregistering here
+        # would strip the parent's own protective entry.  Leave it.
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        return cls(shm, handle, owner=False)
+
+    # -- use ----------------------------------------------------------------
+
+    def population(self, obs=None) -> FrameFleetPopulation:
+        """A frame-backed population reading straight from the segment."""
+        return FrameFleetPopulation(
+            self.frame, window=self.handle.window, obs=obs
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop numpy views into the buffer before closing the mapping,
+        # else SharedMemory.close() raises BufferError on exported
+        # pointers.
+        self.frame.columns.clear()
+        self._finalizer.detach()
+        _cleanup_segment(self._shm, self._owner)
+
+
+def _cleanup_segment(shm, owner: bool) -> None:
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - best-effort
+        return
+    if owner:
+        try:
+            shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass

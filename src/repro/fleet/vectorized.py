@@ -107,6 +107,20 @@ class VectorizedTestPipeline:
         # population-independent and cached separately.
         self._schedule_cache: Optional[Tuple] = None
         self._blocks: Dict[Tuple[int, int], Tuple] = {}
+        # Named scratch buffers for the per-kind expectation loop.
+        # Lowering is called once per (shard, kind); without reuse each
+        # call allocates five O(pairs)+O(rows) temporaries.  Buffers
+        # grow monotonically and are sliced per call, so steady-state
+        # lowering allocates nothing.
+        self._scratch: Dict[str, np.ndarray] = {}
+
+    def _scratch_buffer(self, name: str, size: int) -> np.ndarray:
+        """A float64 scratch array of ``size``, reused across calls."""
+        buf = self._scratch.get(name)
+        if buf is None or len(buf) < size:
+            buf = np.empty(max(size, 1), dtype=np.float64)
+            self._scratch[name] = buf
+        return buf[:size]
 
     # -- lowering ----------------------------------------------------------
 
@@ -365,17 +379,39 @@ class VectorizedTestPipeline:
                 kind_nnz.append(kind_nnz[twin])
                 continue
             computed[(temp, kind_time[kind])] = kind
+            n_rows = len(row_pair_arr)
             active = np.flatnonzero(temp >= pair_tmin)  # tmin gate, bit-exact
-            ramp = np.minimum(temp - pair_tmin, ramp_cap)
-            log10_freq = pair_f0 + pair_slope * ramp
-            pair_pow = np.zeros(n_pairs)
+            # Scratch-buffer versions of the original expressions; each
+            # out= ufunc evaluates the same operation in the same order
+            # as its allocating form, so results stay bitwise equal:
+            #   ramp       = np.minimum(temp - pair_tmin, ramp_cap)
+            #   log10_freq = pair_f0 + pair_slope * ramp
+            #   freq       = (pair_pow[row_pair_arr] * row_stress) * row_ref
+            #   expected   = ((freq / row_ref) * row_sum) * kt / 60.0
+            ramp = self._scratch_buffer("ramp", n_pairs)
+            np.subtract(temp, pair_tmin, out=ramp)
+            np.minimum(ramp, ramp_cap, out=ramp)
+            log10_freq = self._scratch_buffer("log10_freq", n_pairs)
+            np.multiply(pair_slope, ramp, out=log10_freq)
+            np.add(pair_f0, log10_freq, out=log10_freq)
+            pair_pow = self._scratch_buffer("pair_pow", n_pairs)
+            pair_pow.fill(0.0)
             if active.size:
                 pair_pow[active] = list(
                     map(pow10, log10_freq[active].tolist())
                 )
-            freq = (pair_pow[row_pair_arr] * row_stress) * row_ref
+            freq = self._scratch_buffer("freq", n_rows)
+            np.take(pair_pow, row_pair_arr, out=freq)
+            np.multiply(freq, row_stress, out=freq)
+            np.multiply(freq, row_ref, out=freq)
             np.minimum(freq, max_freq, out=freq)
-            expected = ((freq / row_ref) * row_sum) * kind_time[kind] / 60.0
+            expected = self._scratch_buffer("expected", n_rows)
+            np.divide(freq, row_ref, out=expected)
+            np.multiply(expected, row_sum, out=expected)
+            # ``* kt`` then ``/ 60.0`` stay two separate operations — a
+            # fused ``* (kt / 60.0)`` would change last-ulp results.
+            np.multiply(expected, kind_time[kind], out=expected)
+            np.divide(expected, 60.0, out=expected)
             # bincount accumulates element by element in index order —
             # the same addition sequence as the scalar dict loop.
             values = np.bincount(

@@ -22,6 +22,7 @@ simulators via a keyword-only ``obs=None`` parameter:
 from .context import Observability, observed_sleep, span
 from .logconf import logging_setup
 from .metrics import DEFAULT_BUCKETS, MetricsRegistry, parse_prometheus_text
+from .procmem import current_rss_bytes, peak_rss_bytes, record_memory
 from .report import check_artifacts, load_metrics, render_report
 from .tracing import (
     JsonlTraceSink,
@@ -41,7 +42,10 @@ __all__ = [
     "Observability",
     "Tracer",
     "check_artifacts",
+    "current_rss_bytes",
     "iter_spans",
+    "peak_rss_bytes",
+    "record_memory",
     "load_metrics",
     "logging_setup",
     "observed_sleep",

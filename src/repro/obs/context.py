@@ -181,6 +181,18 @@ _HELP = {
         "Scheduled test windows in Farron regular plans.",
     "repro_thermal_substeps_total":
         "Batch thermal-model integration substeps, by mode.",
+    "repro_rss_bytes":
+        "Resident set size of this process at last sample, in bytes.",
+    "repro_peak_rss_bytes":
+        "Peak resident set size of this process, in bytes.",
+    "repro_fleet_chunks_total":
+        "Struct-of-arrays chunks emitted by streamed fleet generation.",
+    "repro_frame_materializations_total":
+        "Processor windows rebuilt from frame-backed populations.",
+    "repro_spill_bytes_total":
+        "Bytes spilled to on-disk column stores.",
+    "repro_shm_bytes":
+        "Bytes of shared-memory fleet segments currently published.",
 }
 
 #: Non-default bucket layouts.  Farron round durations are *simulated*

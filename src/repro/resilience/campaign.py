@@ -27,11 +27,12 @@ invariant the chaos suite (``tests/chaos/``) enforces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import MISSING, dataclass, fields as dataclass_fields
 from typing import Dict, Optional, Tuple
 
 from ..core.backoff import ExponentialBackoff
 from ..obs.context import observed_sleep, span
+from ..obs.procmem import record_memory
 from ..errors import (
     CampaignAbortedError,
     ConfigurationError,
@@ -74,6 +75,10 @@ class CampaignSpec:
     escape_fraction: float = 0.05
     engine: str = "vectorized"
     shard_size: int = 256
+    #: Out-of-core bound: 0 materializes the whole faulty population
+    #: eagerly (the classic path); > 0 builds a frame-backed population
+    #: whose resident Processor window never exceeds this many CPUs.
+    max_resident_cpus: int = 0
 
     def __post_init__(self) -> None:
         if self.total_processors <= 0:
@@ -84,6 +89,8 @@ class CampaignSpec:
             )
         if self.shard_size <= 0:
             raise ConfigurationError("shard_size must be positive")
+        if self.max_resident_cpus < 0:
+            raise ConfigurationError("max_resident_cpus must be >= 0")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -94,26 +101,51 @@ class CampaignSpec:
             "escape_fraction": self.escape_fraction,
             "engine": self.engine,
             "shard_size": self.shard_size,
+            "max_resident_cpus": self.max_resident_cpus,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CampaignSpec":
-        try:
-            return cls(**{key: data[key] for key in cls.__dataclass_fields__})
-        except KeyError as error:
-            raise ConfigurationError(
-                f"campaign spec is missing field {error.args[0]!r}"
-            ) from error
+        """Build a spec from checkpoint data, tolerating older payloads.
 
-    def build_population(self) -> FleetPopulation:
-        return generate_fleet(
-            FleetSpec(
-                total_processors=self.total_processors,
-                seed=self.fleet_seed,
-                failure_rate_scale=self.failure_rate_scale,
-                escape_fraction=self.escape_fraction,
-            )
+        Fields absent from ``data`` fall back to their dataclass
+        defaults, so checkpoints written before a field existed still
+        resume (the default is, by construction, the behaviour those
+        campaigns had).  Required fields stay required.
+        """
+        kwargs: Dict[str, object] = {}
+        for spec_field in dataclass_fields(cls):
+            if spec_field.name in data:
+                kwargs[spec_field.name] = data[spec_field.name]
+            elif (
+                spec_field.default is MISSING
+                and spec_field.default_factory is MISSING
+            ):
+                raise ConfigurationError(
+                    f"campaign spec is missing field {spec_field.name!r}"
+                )
+        return cls(**kwargs)
+
+    def build_population(self, obs=None) -> FleetPopulation:
+        fleet_spec = FleetSpec(
+            total_processors=self.total_processors,
+            seed=self.fleet_seed,
+            failure_rate_scale=self.failure_rate_scale,
+            escape_fraction=self.escape_fraction,
         )
+        if self.max_resident_cpus > 0:
+            # Imported lazily: repro.resilience initializes before the
+            # fleet frame module in some import orders, and only
+            # out-of-core campaigns need it.
+            from ..fleet.frame import generate_fleet_frame
+
+            return generate_fleet_frame(
+                fleet_spec,
+                chunk_size=self.max_resident_cpus,
+                window=self.max_resident_cpus,
+                obs=obs,
+            )
+        return generate_fleet(fleet_spec)
 
 
 def _detection_to_row(detection: Detection) -> list:
@@ -255,10 +287,16 @@ class ResilientCampaign:
         if spec is None and saved_spec is not None:
             spec = CampaignSpec.from_dict(saved_spec)  # type: ignore[arg-type]
         if spec is not None and saved_spec is not None:
-            if spec.to_dict() != saved_spec:
+            # Normalize through from_dict().to_dict() so a checkpoint
+            # written before a (defaulted) spec field existed still
+            # compares equal to the equivalent modern spec.
+            normalized = CampaignSpec.from_dict(
+                saved_spec  # type: ignore[arg-type]
+            ).to_dict()
+            if spec.to_dict() != normalized:
                 raise ConfigurationError(
                     "checkpoint was written by a campaign with a different "
-                    f"spec: {saved_spec!r} != {spec.to_dict()!r}"
+                    f"spec: {normalized!r} != {spec.to_dict()!r}"
                 )
         if population is None:
             if spec is None:
@@ -355,6 +393,26 @@ class ResilientCampaign:
             self.obs.inc("repro_checkpoint_total", op="save")
         if self.chaos is not None:
             self.chaos.damage_checkpoint(path, shard)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the parallel pool and any shared-memory segment.
+
+        Idempotent, and a no-op for scalar/vectorized campaigns that
+        never built a pool.  Must run even when the campaign dies
+        mid-run (the supervisor driver guarantees it), so an injected
+        kill can never leak a published fleet segment.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "ResilientCampaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- execution ----------------------------------------------------------
 
@@ -509,6 +567,9 @@ class ResilientCampaign:
                     self._shards_since_checkpoint = 0
                 if self.chaos is not None:
                     self.chaos.kill_after_shard(shard)
+            # The campaign is the natural RSS reporting point: sample
+            # once at completion so every run leaves its peak on record.
+            record_memory(self.obs)
         return self.result
 
 
@@ -576,3 +637,9 @@ def run_resilient_campaign(
                 raise CampaignAbortedError(
                     "campaign killed with no checkpoint store to resume from"
                 ) from error
+        finally:
+            # Pool processes and shared-memory segments must not outlive
+            # the campaign instance, however it ended — a real
+            # supervisor would be reaping a dead scanner's resources
+            # here.
+            campaign.close()

@@ -1,0 +1,154 @@
+"""Chaos acceptance: shared-memory fleets survive kills without leaks.
+
+The out-of-core substrate publishes the fleet frame as a POSIX
+shared-memory segment; the invariant under test is twofold: a campaign
+killed and resumed mid-run over that segment still produces the
+bit-identical fault-free result, and **no segment outlives its
+campaign** — not across injected kills, not across pool degradation,
+not across supervisor restarts.
+"""
+
+import glob
+
+import pytest
+
+from repro.core import ExponentialBackoff
+from repro.fleet import (
+    FleetSpec,
+    ParallelTestPipeline,
+    TestPipeline,
+    generate_fleet,
+    generate_fleet_frame,
+    shared_memory_available,
+)
+from repro.fleet.pipeline import FleetStudyResult
+from repro.resilience import (
+    CampaignSpec,
+    ChaosInjector,
+    CheckpointStore,
+    ResilientCampaign,
+    run_resilient_campaign,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no POSIX shared memory here"
+)
+
+#: Streamed out-of-core campaign over the chaos fleet: parallel engine,
+#: frame window well below the faulty count so laziness is exercised.
+SPEC = CampaignSpec(
+    total_processors=10_000,
+    fleet_seed=7,
+    pipeline_seed=11,
+    failure_rate_scale=60.0,
+    engine="parallel",
+    shard_size=32,
+    max_resident_cpus=64,
+)
+
+NO_WAIT = ExponentialBackoff(base_s=0.0, cap_s=0.0, jitter=0.0)
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture(scope="module")
+def baseline(library):
+    fleet = generate_fleet(
+        FleetSpec(
+            total_processors=SPEC.total_processors,
+            seed=SPEC.fleet_seed,
+            failure_rate_scale=SPEC.failure_rate_scale,
+        )
+    )
+    return TestPipeline(fleet, library, seed=SPEC.pipeline_seed).run()
+
+
+def assert_bit_identical(result, baseline):
+    assert result.detections == baseline.detections
+    assert result.undetected_ids == baseline.undetected_ids
+    assert result.population_total == baseline.population_total
+
+
+def test_killed_shared_memory_campaign_resumes_without_leaks(
+    library, baseline, tmp_path
+):
+    """Two injected kills mid-campaign: the supervisor resumes from the
+    newest snapshot each time, the result stays bit-identical, and every
+    shared-memory segment is reclaimed by campaign teardown."""
+    before = _shm_segments()
+    chaos = ChaosInjector({1: ["kill"], 3: ["kill"]}, seed=5, delay_s=0.0)
+    result, health = run_resilient_campaign(
+        library,
+        spec=SPEC,
+        checkpoint_store=CheckpointStore(tmp_path),
+        chaos=chaos,
+        checkpoint_every=1,
+        retry_backoff=NO_WAIT,
+        workers=2,
+    )
+    assert_bit_identical(result, baseline)
+    assert health.resumes == 2
+    assert not chaos.pending()
+    assert _shm_segments() == before, "campaign leaked shm segments"
+
+
+class _DeadPool:
+    """A pool whose submissions never succeed (permanently degraded)."""
+
+    def submit(self, fn, item):
+        return None
+
+    def degrade(self, reason):
+        pass
+
+    def close(self, wait=True):
+        pass
+
+
+def test_pool_death_releases_segment_and_keeps_parity(library, baseline):
+    """The degradation path: the pool dies *after* the frame segment is
+    published; the engine must release the segment, rewind, and finish
+    serially with the bit-identical result."""
+    before = _shm_segments()
+    population = generate_fleet_frame(
+        FleetSpec(
+            total_processors=SPEC.total_processors,
+            seed=SPEC.fleet_seed,
+            failure_rate_scale=SPEC.failure_rate_scale,
+        ),
+        chunk_size=SPEC.max_resident_cpus,
+        window=SPEC.max_resident_cpus,
+    )
+    with ParallelTestPipeline(
+        population, library, seed=SPEC.pipeline_seed, workers=2,
+        shard_size=SPEC.shard_size,
+    ) as engine:
+        result = FleetStudyResult(
+            population_total=population.total,
+            arch_counts=dict(population.arch_counts),
+        )
+        total = len(population.faulty)
+        cut = total // 2
+        engine.run_range(0, cut, result)  # healthy: segment published
+        assert engine._shared is not None, "shm fast path must engage"
+        live_segment = f"/dev/shm/{engine._shared.handle.shm_name}"
+        assert live_segment in _shm_segments()
+        engine._pool = _DeadPool()  # worker crash mid-campaign
+        engine.run_range(cut, total, result)  # degrades, rewinds, finishes
+        assert engine._shared is None, "degradation must release the segment"
+        assert live_segment not in _shm_segments()
+        assert result.detections == baseline.detections
+        assert result.undetected_ids == baseline.undetected_ids
+    assert _shm_segments() == before, "degraded campaign leaked segments"
+
+
+def test_campaign_close_is_idempotent_and_releases(library):
+    campaign = ResilientCampaign.from_spec(SPEC, library, workers=2)
+    before = _shm_segments()
+    result = campaign.run()
+    campaign.close()
+    campaign.close()
+    assert len(result.detections) > 20, "campaign must not be vacuous"
+    assert _shm_segments() == before
