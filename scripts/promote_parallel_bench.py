@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Promote a measured multi-core scaling datapoint into BENCH_parallel.json.
+
+The committed ``BENCH_parallel.json`` was captured on a 1-effective-core
+box, so its scaling curve honestly documents "no speedup available"
+rather than the engine's real multi-core behavior (ROADMAP item 1's
+leftover).  CI's perf job writes a fresh candidate report
+(``bench_perf_fleet.py --parallel-out``); this script promotes that
+candidate into the committed artifact **only** when the candidate was
+measured somewhere that can actually speak to scaling:
+
+* the candidate runner reports ``>= --min-cores`` effective cores
+  (1-core runners skip cleanly with exit 0 — the gate, not a failure);
+* the candidate's parity field is ``exact`` (a report whose detections
+  diverged must never be promoted);
+* the candidate's curve reaches at least the committed multi-core
+  efficiency when the committed artifact already came from a capable
+  runner (never replace a good measurement with a worse one).
+
+Exit codes: 0 promoted or cleanly skipped, 1 candidate rejected.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def log(message: str) -> None:
+    print(f"[promote-parallel-bench] {message}", flush=True)
+
+
+def _multi_core_efficiency(report: dict, workers: int = 4) -> float:
+    """The committed gate point: efficiency of the ``workers``-wide run."""
+    for point in report.get("scaling_curve", []):
+        if point.get("workers") == workers:
+            return float(point.get("efficiency", 0.0))
+    return 0.0
+
+
+def promote(
+    candidate_path: Path,
+    committed_path: Path,
+    min_cores: int,
+    dry_run: bool = False,
+) -> int:
+    try:
+        candidate = json.loads(candidate_path.read_text())
+    except (OSError, ValueError) as error:
+        log(f"skip: no usable candidate report ({error})")
+        return 0
+    cores = int(candidate.get("environment", {}).get("effective_cores", 0))
+    if cores < min_cores:
+        log(
+            f"skip: candidate measured on {cores} effective core(s); "
+            f"promotion needs >= {min_cores}"
+        )
+        return 0
+    if candidate.get("parity") != "exact":
+        log(f"reject: candidate parity is {candidate.get('parity')!r}")
+        return 1
+    if candidate.get("benchmark") != "bench_parallel_fleet":
+        log(f"reject: not a parallel fleet report: {candidate.get('benchmark')!r}")
+        return 1
+    candidate_eff = _multi_core_efficiency(candidate)
+    if candidate_eff <= 0.0:
+        log("reject: candidate curve has no 4-worker datapoint")
+        return 1
+    try:
+        committed = json.loads(committed_path.read_text())
+    except (OSError, ValueError):
+        committed = {}
+    committed_cores = int(
+        committed.get("environment", {}).get("effective_cores", 0)
+    )
+    committed_eff = _multi_core_efficiency(committed)
+    if committed_cores >= min_cores and committed_eff >= candidate_eff:
+        log(
+            f"skip: committed artifact already holds a >= {min_cores}-core "
+            f"measurement at efficiency {committed_eff:.2f} "
+            f"(candidate {candidate_eff:.2f})"
+        )
+        return 0
+    log(
+        f"promoting: {cores}-core measurement, 4-worker efficiency "
+        f"{candidate_eff:.2f} (was {committed_cores}-core, "
+        f"{committed_eff:.2f})"
+    )
+    if dry_run:
+        log("dry run: committed artifact left untouched")
+        return 0
+    committed_path.write_text(
+        json.dumps(candidate, indent=1, sort_keys=False) + "\n"
+    )
+    log(f"wrote {committed_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--candidate", default="/tmp/BENCH_parallel_smoke.json",
+        help="fresh report from bench_perf_fleet.py --parallel-out",
+    )
+    parser.add_argument(
+        "--committed", default=str(REPO / "BENCH_parallel.json"),
+        help="committed artifact to promote into",
+    )
+    parser.add_argument(
+        "--min-cores", type=int, default=4,
+        help="effective cores required before a promotion (default 4)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report the decision without writing the committed file",
+    )
+    args = parser.parse_args(argv)
+    return promote(
+        Path(args.candidate),
+        Path(args.committed),
+        args.min_cores,
+        dry_run=args.dry_run,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Exposes the study's headline experiments without writing any code:
 * ``detectors``      — Observation 12's fault-tolerance comparison
 * ``salvage``        — fail-in-place capacity accounting
 * ``resume``         — continue a checkpointed fleet study
+* ``serve``          — always-on fleet service daemon (journaled HTTP API)
 * ``obs-report``     — summarize/validate telemetry artifacts
 
 Every command accepts the shared observability flags (``--metrics-out``,
@@ -162,6 +163,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes when the checkpointed engine is parallel "
              "(default: usable CPUs per scheduler affinity)",
+    )
+
+    serve = sub.add_parser(
+        "serve", parents=[obs],
+        help="run the always-on fleet service daemon",
+    )
+    serve.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="journal + checkpoint home; restart on the same directory "
+             "resumes every acknowledged job bit-identically",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = pick a free one; see "
+             "<state-dir>/endpoint.json for the result)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound: queued+active jobs beyond this get 429 "
+             "with Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--max-active", type=int, default=1,
+        help="campaign worker threads (default 1)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=2,
+        help="shards between campaign snapshots (default 2)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per job, checked between shards "
+             "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="chaos-testing hook: comma-separated action:point:nth, e.g. "
+             "'kill:shard_done:3,tear_journal:journal_append:2' "
+             "(simulated SIGKILL at exact lifecycle points; test use)",
     )
 
     report = sub.add_parser(
@@ -417,6 +461,26 @@ def _cmd_salvage(args, obs=None) -> int:
     return 0
 
 
+def _cmd_serve(args, obs=None) -> int:
+    import asyncio
+
+    from .service import ReproService, ServiceChaos
+
+    service = ReproService(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        obs=obs,
+        chaos=ServiceChaos.from_spec(args.chaos),
+        max_queue=args.max_queue,
+        max_active=args.max_active,
+        checkpoint_every=args.checkpoint_every,
+        job_timeout_s=args.job_timeout,
+    )
+    asyncio.run(service.run())
+    return 0
+
+
 def _cmd_obs_report(args, obs=None) -> int:
     from .errors import ObservabilityError
     from .obs import check_artifacts, render_report
@@ -448,6 +512,7 @@ _COMMANDS = {
     "detectors": _cmd_detectors,
     "salvage": _cmd_salvage,
     "resume": _cmd_resume,
+    "serve": _cmd_serve,
     "obs-report": _cmd_obs_report,
 }
 

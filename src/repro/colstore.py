@@ -13,9 +13,10 @@ The container follows the campaign checkpoint conventions
 * **one ``.npy`` file per column** — plain NumPy format, no pickling,
   so a reader maps the column zero-copy (``np.load(mmap_mode="r")``);
 * **atomic writes** — every column and the manifest go through a temp
-  file, ``fsync``, and ``os.replace``, so a crash mid-spill leaves
-  either the previous store or an incomplete one that fails its check,
-  never a silently torn column;
+  file, ``fsync``, ``os.replace``, and a parent-directory fsync, so a
+  crash mid-spill leaves either the previous store or an incomplete one
+  that fails its check, never a silently torn column (and a crash just
+  after a spill cannot make a finished store vanish);
 * **CRC-32 self-check** — the manifest records each column file's
   CRC-32, dtype, shape, and byte size, and is itself a canonical-JSON
   document carrying its own CRC.  A default read verifies *metadata
@@ -42,6 +43,7 @@ from .errors import (
     CheckpointError,
     CheckpointVersionError,
 )
+from .fsutil import replace_and_sync_directory
 
 __all__ = [
     "COLSTORE_FORMAT",
@@ -79,7 +81,7 @@ def _file_crc32(path: Path) -> int:
 
 def _atomic_replace(tmp: Path, path: Path) -> None:
     try:
-        os.replace(tmp, path)
+        replace_and_sync_directory(tmp, path)
     except OSError as error:
         try:
             tmp.unlink(missing_ok=True)

@@ -93,6 +93,37 @@ class TraceCorruptError(ObservabilityError):
     the file header is missing/incompatible."""
 
 
+class ServiceError(ReproError):
+    """Base class for ``repro serve`` daemon failures (journal,
+    admission, scheduling, protocol)."""
+
+
+class JournalError(ServiceError):
+    """The service write-ahead journal could not be written or read."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal line failed its CRC-32/structure self-check somewhere
+    other than a (crash-tolerated) segment tail."""
+
+
+class AdmissionError(ServiceError):
+    """A job submission was rejected by admission control (queue full,
+    oversized request, duplicate id, draining).
+
+    ``status`` carries the HTTP status the API maps this to and
+    ``retry_after_s`` the backpressure hint for 429 responses.
+    """
+
+    def __init__(
+        self, message: str, *, status: int = 429,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
 class CoherenceError(SimulationError):
     """The cache-coherence simulator detected a protocol violation that is
     not attributable to an injected defect (i.e. a simulator bug)."""

@@ -170,6 +170,30 @@ class Detection:
     day: float
     failing_testcase_ids: Tuple[str, ...]
 
+    def to_row(self) -> list:
+        """Compact JSON-able row (checkpoint/verdict wire format).
+
+        ``day`` survives bit-for-bit: JSON float encoding is CPython's
+        shortest-round-trip repr.
+        """
+        return [
+            self.processor_id,
+            self.arch_name,
+            self.stage_name,
+            self.day,
+            list(self.failing_testcase_ids),
+        ]
+
+    @classmethod
+    def from_row(cls, row: list) -> "Detection":
+        return cls(
+            processor_id=row[0],
+            arch_name=row[1],
+            stage_name=row[2],
+            day=row[3],
+            failing_testcase_ids=tuple(row[4]),
+        )
+
 
 @dataclass
 class FleetStudyResult:
@@ -198,6 +222,27 @@ class FleetStudyResult:
         for detection in self.detections:
             failing.update(detection.failing_testcase_ids)
         return failing
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able verdict document; round-trips bit-exactly through
+        :meth:`from_dict` (detection order, float days, id lists)."""
+        return {
+            "population_total": self.population_total,
+            "arch_counts": dict(self.arch_counts),
+            "detections": [d.to_row() for d in self.detections],
+            "undetected": list(self.undetected_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FleetStudyResult":
+        return cls(
+            population_total=int(data["population_total"]),
+            arch_counts=dict(data["arch_counts"]),
+            detections=[
+                Detection.from_row(row) for row in data.get("detections", [])
+            ],
+            undetected_ids=list(data.get("undetected", [])),
+        )
 
 
 class TestPipeline:

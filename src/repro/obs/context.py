@@ -193,6 +193,23 @@ _HELP = {
         "Bytes spilled to on-disk column stores.",
     "repro_shm_bytes":
         "Bytes of shared-memory fleet segments currently published.",
+    "repro_service_http_requests_total":
+        "HTTP requests served by the repro daemon, by route and code.",
+    "repro_service_http_request_seconds":
+        "Wall-clock seconds per HTTP request, by route.",
+    "repro_service_jobs_total":
+        "Service job lifecycle events, by event "
+        "(submitted/rejected/started/resumed/completed/failed).",
+    "repro_service_queue_depth":
+        "Jobs admitted but not yet running in the service scheduler.",
+    "repro_service_active_jobs":
+        "Jobs currently executing campaign shards.",
+    "repro_service_journal_appends_total":
+        "Write-ahead journal entries fsynced, by kind.",
+    "repro_service_journal_bytes_total":
+        "Bytes appended to the write-ahead journal.",
+    "repro_service_drain_seconds":
+        "Duration of the last graceful drain, in seconds.",
 }
 
 #: Non-default bucket layouts.  Farron round durations are *simulated*

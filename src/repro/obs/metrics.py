@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ObservabilityError
+from ..fsutil import replace_and_sync_directory
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -512,7 +513,7 @@ class MetricsRegistry:
                 handle.write(text)
                 handle.flush()
                 os.fsync(handle.fileno())
-            os.replace(tmp, path)
+            replace_and_sync_directory(tmp, path)
         except OSError as error:
             try:
                 tmp.unlink(missing_ok=True)

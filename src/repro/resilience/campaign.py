@@ -148,26 +148,6 @@ class CampaignSpec:
         return generate_fleet(fleet_spec)
 
 
-def _detection_to_row(detection: Detection) -> list:
-    return [
-        detection.processor_id,
-        detection.arch_name,
-        detection.stage_name,
-        detection.day,
-        list(detection.failing_testcase_ids),
-    ]
-
-
-def _detection_from_row(row: list) -> Detection:
-    return Detection(
-        processor_id=row[0],
-        arch_name=row[1],
-        stage_name=row[2],
-        day=row[3],
-        failing_testcase_ids=tuple(row[4]),
-    )
-
-
 class ResilientCampaign:
     """One supervised, checkpointed, degradable fleet campaign."""
 
@@ -351,7 +331,7 @@ class ResilientCampaign:
         if self.obs is not None:
             self.obs.inc("repro_checkpoint_total", op="load")
         self.result.detections = [
-            _detection_from_row(row) for row in payload.get("detections", [])
+            Detection.from_row(row) for row in payload.get("detections", [])
         ]
         self.result.undetected_ids = list(payload.get("undetected", []))
         self.health.record(
@@ -369,9 +349,7 @@ class ResilientCampaign:
             "draws": self._stream.consumed,
             "population_total": self.population.total,
             "arch_counts": dict(self.population.arch_counts),
-            "detections": [
-                _detection_to_row(d) for d in self.result.detections
-            ],
+            "detections": [d.to_row() for d in self.result.detections],
             "undetected": list(self.result.undetected_ids),
             "health": self.health.to_dict(),
         }
@@ -536,6 +514,51 @@ class ResilientCampaign:
             f"(cpus [{start}, {stop}))"
         )
 
+    def step(self) -> bool:
+        """Execute exactly one shard through the retry/degradation
+        ladder and apply the checkpoint policy; returns True while
+        faulty CPUs remain.
+
+        This is the granule a long-running host (the ``repro serve``
+        scheduler) interleaves with drain checks: between any two steps
+        the campaign can be checkpointed with :meth:`checkpoint_now`
+        and abandoned, and a later resume is bit-identical.
+        """
+        faulty_count = len(self.population.faulty)
+        if self._cursor >= faulty_count:
+            return False
+        start = self._cursor
+        stop = min(start + self.shard_size, faulty_count)
+        shard = start // self.shard_size
+        shard_result = self._execute_shard(start, stop, shard)
+        self.result.detections.extend(shard_result.detections)
+        self.result.undetected_ids.extend(shard_result.undetected_ids)
+        self._cursor = stop
+        self._shards_since_checkpoint += 1
+        if (
+            self._shards_since_checkpoint >= self.checkpoint_every
+            or self._cursor >= faulty_count
+        ):
+            self._checkpoint(shard)
+            self._shards_since_checkpoint = 0
+        if self.chaos is not None:
+            self.chaos.kill_after_shard(shard)
+        return self._cursor < faulty_count
+
+    def checkpoint_now(self) -> None:
+        """Snapshot immediately if any shard landed since the last one.
+
+        The graceful-drain path: a daemon stopping mid-campaign
+        checkpoints the exact cursor/draw position so the next boot
+        resumes without redoing (or double-counting) any shard.  A
+        no-op when the newest snapshot is already current or no store
+        is attached.
+        """
+        if self.store is None or self._shards_since_checkpoint == 0:
+            return
+        self._checkpoint(max(0, (self._cursor - 1) // self.shard_size))
+        self._shards_since_checkpoint = 0
+
     def run(self) -> FleetStudyResult:
         """Run to completion, checkpointing; returns the study result.
 
@@ -543,30 +566,13 @@ class ResilientCampaign:
         :func:`run_resilient_campaign` driver (or an operator running
         ``repro resume``) restarts from the last good snapshot.
         """
-        faulty_count = len(self.population.faulty)
         with span(
             self.obs, "campaign.run",
-            engine=self.engine, cursor=self._cursor, faulty=faulty_count,
+            engine=self.engine, cursor=self._cursor,
+            faulty=len(self.population.faulty),
         ):
-            while self._cursor < faulty_count:
-                start = self._cursor
-                stop = min(start + self.shard_size, faulty_count)
-                shard = start // self.shard_size
-                shard_result = self._execute_shard(start, stop, shard)
-                self.result.detections.extend(shard_result.detections)
-                self.result.undetected_ids.extend(
-                    shard_result.undetected_ids
-                )
-                self._cursor = stop
-                self._shards_since_checkpoint += 1
-                if (
-                    self._shards_since_checkpoint >= self.checkpoint_every
-                    or self._cursor >= faulty_count
-                ):
-                    self._checkpoint(shard)
-                    self._shards_since_checkpoint = 0
-                if self.chaos is not None:
-                    self.chaos.kill_after_shard(shard)
+            while self.step():
+                pass
             # The campaign is the natural RSS reporting point: sample
             # once at completion so every run leaves its peak on record.
             record_memory(self.obs)

@@ -11,9 +11,10 @@ snapshot format here is deliberately boring and auditable:
   checksummed; a torn write, truncation, or flipped byte surfaces as
   :class:`~repro.errors.CheckpointCorruptError` instead of silently
   corrupting the aggregate result.
-* **Atomic write** — snapshots are written to a temp file, fsynced, and
-  ``os.replace``-d into place, so a crash mid-write leaves the previous
-  snapshot intact.
+* **Atomic write** — snapshots are written to a temp file, fsynced,
+  ``os.replace``-d into place, and the parent directory is fsynced, so
+  a crash mid-write leaves the previous snapshot intact and a crash
+  right after the write cannot un-happen it.
 * **Rotation** — :class:`CheckpointStore` keeps the last few snapshots;
   the loader falls back to the newest one that passes its self-check.
 """
@@ -31,6 +32,7 @@ from ..errors import (
     CheckpointError,
     CheckpointVersionError,
 )
+from ..fsutil import replace_and_sync_directory
 from .health import KIND_CHECKPOINT_FALLBACK, CampaignHealthReport
 
 __all__ = [
@@ -73,7 +75,10 @@ def write_checkpoint(path: os.PathLike, payload: Dict[str, object]) -> None:
             json.dump(document, handle, allow_nan=False)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        # The rename is only durable once the parent directory's entry
+        # is on disk too — a crash between replace and directory sync
+        # could otherwise "lose" a snapshot the caller already trusts.
+        replace_and_sync_directory(tmp, path)
     except OSError as error:
         try:
             tmp.unlink(missing_ok=True)

@@ -1,0 +1,48 @@
+"""Always-on fleet service: the ``repro serve`` daemon and its parts.
+
+Layering, bottom-up:
+
+* :mod:`~repro.service.journal` — fsync-before-ack write-ahead journal
+  (checkpoint-container line format, per-incarnation segments).
+* :mod:`~repro.service.scheduler` — crash-tolerant campaign scheduler:
+  journaled admission, bounded queues, rolling
+  :class:`~repro.resilience.campaign.ResilientCampaign` shards on a
+  worker pool, journal replay + checkpoint resume on restart.
+* :mod:`~repro.service.api` — the hand-rolled HTTP/1.1 surface
+  (``/submit``, ``/verdicts/<job>``, ``/healthz``, ``/readyz``,
+  ``/metrics``).
+* :mod:`~repro.service.server` — :class:`ReproService` lifecycle
+  (recover → announce → serve → drain) and the in-thread test harness.
+* :mod:`~repro.service.client` — stdlib blocking client.
+* :mod:`~repro.service.chaos` — deterministic SIGKILL/torn-journal
+  injection at named hook points (``repro serve --chaos``).
+"""
+
+from .chaos import HOOK_POINTS, ServiceChaos, parse_chaos_spec
+from .client import Rejected, ServiceClient, read_endpoint
+from .journal import (
+    JournalEntry,
+    JournalWriter,
+    ReplayReport,
+    replay_journal,
+)
+from .scheduler import CampaignScheduler, JobRecord
+from .server import ENDPOINT_FILE, ReproService, ServiceThread
+
+__all__ = [
+    "CampaignScheduler",
+    "ENDPOINT_FILE",
+    "HOOK_POINTS",
+    "JobRecord",
+    "JournalEntry",
+    "JournalWriter",
+    "Rejected",
+    "ReplayReport",
+    "ReproService",
+    "ServiceChaos",
+    "ServiceClient",
+    "ServiceThread",
+    "parse_chaos_spec",
+    "read_endpoint",
+    "replay_journal",
+]

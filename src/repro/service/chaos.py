@@ -1,0 +1,152 @@
+"""Daemon-level chaos: abrupt death and journal damage at exact points.
+
+The campaign-level :class:`~repro.resilience.chaos.ChaosInjector`
+exercises the *scheduler's* fault ladder (flaky shards, parity trips,
+simulated kills the in-process supervisor absorbs).  This module covers
+the faults only a whole-process view can exercise: the daemon dying
+**between** two specific instructions — after a journal write but
+before its ack, mid-drain, between a shard and its checkpoint — and a
+journal tail physically torn by the crash.
+
+A :class:`ServiceChaos` is configured from a compact spec string (the
+``repro serve --chaos`` flag) listing actions bound to named hook
+points::
+
+    kill:submit_pre_ack:2        die at the 2nd pre-ack hook
+    kill:shard_done:5            die after the 5th completed shard
+    tear_journal:journal_append:3   tear the segment tail at append 3
+                                    (then die)
+
+Multiple actions are comma-separated.  Death is ``os._exit(137)`` — no
+atexit handlers, no flushes, indistinguishable from SIGKILL for every
+consumer of the state directory — which is what lets the chaos suite
+pin kill points that an external ``kill -9`` could only hit by luck.
+
+Hook points wired through the service:
+
+* ``submit_pre_ack``   — job journaled? maybe; ack definitely not sent
+* ``submit_post_ack``  — journal fsynced, ack about to be sent
+* ``journal_append``   — after any journal append's fsync
+* ``shard_done``       — between a campaign shard and the next
+* ``checkpoint_done``  — right after a campaign checkpoint landed
+* ``drain``            — inside graceful drain, before the final flush
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["HOOK_POINTS", "ServiceChaos", "parse_chaos_spec"]
+
+HOOK_POINTS = (
+    "submit_pre_ack",
+    "submit_post_ack",
+    "journal_append",
+    "shard_done",
+    "checkpoint_done",
+    "drain",
+)
+
+_ACTIONS = ("kill", "tear_journal")
+
+#: SIGKILL's wait-status exit code; keeps post-mortems honest about
+#: what the simulated death is standing in for.
+KILL_EXIT_CODE = 137
+
+
+def parse_chaos_spec(spec: str) -> List[Tuple[str, str, int]]:
+    """``"kill:shard_done:5,tear_journal:journal_append:3"`` →
+    ``[(action, point, nth), ...]``; validates names eagerly so a typo
+    fails daemon startup, not silently never-fires."""
+    actions: List[Tuple[str, str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        if len(pieces) != 3:
+            raise ConfigurationError(
+                f"chaos spec {part!r} is not action:point:nth"
+            )
+        action, point, nth_text = pieces
+        if action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown chaos action {action!r}; known: {_ACTIONS}"
+            )
+        if point not in HOOK_POINTS:
+            raise ConfigurationError(
+                f"unknown chaos hook point {point!r}; known: {HOOK_POINTS}"
+            )
+        try:
+            nth = int(nth_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"chaos spec {part!r} has a non-integer occurrence count"
+            )
+        if nth < 1:
+            raise ConfigurationError(
+                f"chaos spec {part!r} occurrence count must be >= 1"
+            )
+        actions.append((action, point, nth))
+    return actions
+
+
+class ServiceChaos:
+    """Counts hook-point visits and fires scheduled actions exactly once.
+
+    The daemon threads :meth:`fire` through its lifecycle; the journal
+    writer's ``post_append`` hook routes through :meth:`on_journal_append`
+    so tear actions see the segment path.
+    """
+
+    def __init__(self, actions: List[Tuple[str, str, int]]):
+        self.actions = list(actions)
+        self._counts: Dict[str, int] = {}
+        self._fired: set = set()
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str]) -> Optional["ServiceChaos"]:
+        if spec is None or not spec.strip():
+            return None
+        return cls(parse_chaos_spec(spec))
+
+    def _due(self, point: str) -> Optional[Tuple[str, str, int]]:
+        count = self._counts.get(point, 0) + 1
+        self._counts[point] = count
+        for action in self.actions:
+            if (
+                action[1] == point
+                and action[2] == count
+                and action not in self._fired
+            ):
+                self._fired.add(action)
+                return action
+        return None
+
+    def fire(self, point: str, journal_path: Optional[Path] = None) -> None:
+        """Visit a hook point; may never return (simulated SIGKILL)."""
+        action = self._due(point)
+        if action is None:
+            return
+        kind = action[0]
+        if kind == "tear_journal":
+            if journal_path is not None and journal_path.exists():
+                data = journal_path.read_bytes()
+                # Tear mid-line: drop the final newline plus half the
+                # last line, the signature of a crash mid-append.
+                cut = data.rstrip(b"\n").rfind(b"\n")
+                keep = max(cut + 1, len(data) - max(8, len(data) // 8))
+                with open(journal_path, "wb") as handle:
+                    handle.write(data[: max(keep, 1)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os._exit(KILL_EXIT_CODE)
+        # kill
+        os._exit(KILL_EXIT_CODE)
+
+    def on_journal_append(self, path: Path, seq: int) -> None:
+        self.fire("journal_append", journal_path=path)

@@ -1,0 +1,322 @@
+"""Write-ahead journal for the ``repro serve`` daemon.
+
+Every externally visible state change of the service — a job accepted,
+started, finished, failed — is appended here and **fsynced before it is
+acknowledged**.  The daemon's crash contract follows directly:
+
+* a client that received a 202 for ``/submit`` is guaranteed the job is
+  journaled, so a SIGKILLed daemon restarted on the same state
+  directory rediscovers and finishes it;
+* a client whose connection died before the ack learns nothing, and
+  correspondingly the journal may or may not carry the job — either
+  outcome is consistent.
+
+The on-disk format reuses the checkpoint-container conventions the rest
+of the tree already trusts (:mod:`repro.resilience.checkpoint`,
+:mod:`repro.obs.tracing`): append-only JSONL **segments** named
+``journal-000001.wal``, each starting with a header line and carrying
+one canonical-JSON entry per line whose ``crc32`` field seals the
+entry's canonical encoding.  Each daemon incarnation opens a fresh
+segment, so the segment sequence doubles as a boot history.
+
+Crash tolerance on the read side mirrors the writer's failure modes: a
+torn **final** line of any segment is dropped (that was the in-flight
+append when that incarnation died — by definition unacknowledged), while
+corruption anywhere else raises
+:class:`~repro.errors.JournalCorruptError` unless the caller opts into
+salvage mode, which truncates replay of that segment at the first bad
+line and reports the damage.
+
+Entry schema (the ``data`` payload is per-kind)::
+
+    {"seq": 17, "kind": "submit", "job": "job-000004",
+     "data": {...}, "crc32": 269356693}
+
+``seq`` is a global, strictly increasing acknowledgment counter that
+survives restarts; replay derives the next one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..errors import JournalCorruptError, JournalError
+from ..fsutil import fsync_directory
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "JournalEntry",
+    "JournalWriter",
+    "ReplayReport",
+    "replay_journal",
+]
+
+JOURNAL_FORMAT = "repro-service-journal"
+JOURNAL_VERSION = 1
+
+_PREFIX = "journal-"
+_SUFFIX = ".wal"
+
+
+def _canonical(record: Dict[str, object]) -> bytes:
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One verified journal record."""
+
+    seq: int
+    kind: str
+    job: Optional[str]
+    data: Dict[str, object]
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "JournalEntry":
+        return cls(
+            seq=int(record["seq"]),
+            kind=str(record["kind"]),
+            job=record.get("job"),  # type: ignore[arg-type]
+            data=dict(record.get("data", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ReplayReport:
+    """What :func:`replay_journal` saw besides the entries."""
+
+    segments: int = 0
+    #: Human-readable descriptions of tolerated damage (torn tails,
+    #: salvage-mode truncations) — surfaced into the daemon's health
+    #: telemetry so silent repair never goes unrecorded.
+    problems: List[str] = field(default_factory=list)
+
+
+class JournalWriter:
+    """Appends acknowledged state changes to this incarnation's segment.
+
+    The segment file is created lazily on the first append; creation
+    fsyncs the journal directory so the new entry name itself is
+    durable.  Every append is flushed and fsynced before :meth:`append`
+    returns — the returned sequence number is the acknowledgment token.
+
+    ``post_append`` is the chaos hook: the service test suite installs
+    a callable here to tear the freshly written tail or kill the
+    process at the exact pre/post-durability boundaries.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        *,
+        start_seq: int = 1,
+        segment_index: Optional[int] = None,
+        post_append: Optional[Callable[[Path, int], None]] = None,
+    ):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise JournalError(
+                f"cannot create journal directory {directory}: {error}"
+            ) from error
+        if segment_index is None:
+            segment_index = _next_segment_index(self.directory)
+        self.path = self.directory / f"{_PREFIX}{segment_index:06d}{_SUFFIX}"
+        self._seq = int(start_seq)
+        self._handle = None
+        self.post_append = post_append
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    def _open(self) -> None:
+        try:
+            self._handle = open(self.path, "x", encoding="utf-8")
+        except OSError as error:
+            raise JournalError(
+                f"cannot create journal segment {self.path}: {error}"
+            ) from error
+        header = {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION}
+        self._handle.write(_canonical(header).decode("utf-8") + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        fsync_directory(self.directory)
+
+    def append(
+        self, kind: str, job: Optional[str] = None, **data: object
+    ) -> int:
+        """Durably record one entry; returns its sequence number.
+
+        When this returns, the entry is fsynced — it is safe to
+        acknowledge the corresponding request to a client.
+        """
+        if self._handle is None:
+            self._open()
+        seq = self._seq
+        record: Dict[str, object] = {"seq": seq, "kind": kind, "data": data}
+        if job is not None:
+            record["job"] = job
+        body = _canonical(record)
+        sealed = dict(record)
+        sealed["crc32"] = zlib.crc32(body)
+        line = _canonical(sealed).decode("utf-8") + "\n"
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as error:
+            raise JournalError(
+                f"cannot append to journal {self.path}: {error}"
+            ) from error
+        self._seq = seq + 1
+        if self.post_append is not None:
+            self.post_append(self.path, seq)
+        return seq
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            finally:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def segment_paths(directory: os.PathLike) -> List[Path]:
+    """Existing journal segments, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        (
+            path
+            for path in directory.glob(f"{_PREFIX}*{_SUFFIX}")
+            if path.is_file()
+        ),
+        key=lambda path: path.name,
+    )
+
+
+def _next_segment_index(directory: Path) -> int:
+    existing = segment_paths(directory)
+    if not existing:
+        return 1
+    stem = existing[-1].name[len(_PREFIX):-len(_SUFFIX)]
+    try:
+        return int(stem) + 1
+    except ValueError:
+        return len(existing) + 1
+
+
+def _replay_segment(
+    path: Path, entries: List[JournalEntry], report: ReplayReport,
+    salvage: bool,
+) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise JournalError(
+            f"cannot read journal segment {path}: {error}"
+        ) from error
+    if not lines:
+        # A daemon that died between segment creation and the header
+        # flush; nothing was acknowledged through this segment.
+        report.problems.append(f"{path.name}: empty segment")
+        return
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        header = None
+    if (
+        not isinstance(header, dict)
+        or header.get("format") != JOURNAL_FORMAT
+    ):
+        # A torn header means the first append never completed its
+        # fsync — again nothing acknowledged.
+        report.problems.append(f"{path.name}: torn/missing header")
+        return
+    if header.get("version") != JOURNAL_VERSION:
+        raise JournalCorruptError(
+            f"journal segment {path} has unsupported version "
+            f"{header.get('version')!r}"
+        )
+    last = len(lines) - 1
+    for index, line in enumerate(lines[1:], start=1):
+        if not line.strip():
+            continue
+        tail = index == last
+        damage: Optional[str] = None
+        record = None
+        try:
+            record = json.loads(line)
+        except ValueError:
+            damage = "not valid JSON"
+        if damage is None and (
+            not isinstance(record, dict) or "crc32" not in record
+        ):
+            damage = "lacks a crc32 seal"
+        if damage is None:
+            claimed = record.pop("crc32")
+            if zlib.crc32(_canonical(record)) != claimed:
+                damage = "failed its CRC-32 self-check"
+        if damage is None:
+            try:
+                entries.append(JournalEntry.from_record(record))
+            except (KeyError, TypeError, ValueError):
+                damage = "has a malformed entry body"
+        if damage is None:
+            continue
+        if tail:
+            # The in-flight append of a crashed incarnation — never
+            # acknowledged, safe to drop.
+            report.problems.append(f"{path.name}: torn tail dropped")
+            return
+        if salvage:
+            report.problems.append(
+                f"{path.name}: line {index + 1} {damage}; segment "
+                f"truncated there"
+            )
+            return
+        raise JournalCorruptError(
+            f"journal segment {path} line {index + 1} {damage}"
+        )
+
+
+def replay_journal(
+    directory: os.PathLike,
+    *,
+    salvage: bool = False,
+    report: Optional[ReplayReport] = None,
+) -> List[JournalEntry]:
+    """Verified entries from every segment, in acknowledgment order.
+
+    Entries are returned sorted by ``seq`` (segments are written
+    sequentially, so this is also file order).  ``salvage=True`` keeps
+    going past mid-segment corruption by truncating that segment's
+    replay; the default raises, because losing an *acknowledged* entry
+    is exactly what the journal exists to prevent.
+    """
+    report = report if report is not None else ReplayReport()
+    entries: List[JournalEntry] = []
+    for path in segment_paths(directory):
+        report.segments += 1
+        _replay_segment(path, entries, report, salvage)
+    entries.sort(key=lambda entry: entry.seq)
+    return entries

@@ -1,0 +1,630 @@
+"""Crash-tolerant campaign scheduler behind the ``repro serve`` API.
+
+One :class:`CampaignScheduler` owns a state directory and keeps three
+invariants no matter how the process dies:
+
+* **No lost acknowledged job.**  A job is journaled (fsynced) before
+  its submission is acknowledged; recovery replays the journal and
+  re-queues everything not yet finished.
+* **Bit-identical verdicts.**  Jobs execute as
+  :class:`~repro.resilience.campaign.ResilientCampaign` shards with a
+  per-job :class:`~repro.resilience.checkpoint.CheckpointStore`; a
+  daemon SIGKILLed mid-campaign and restarted on the same state
+  directory resumes each in-flight campaign at its exact cursor and
+  draw position, so the final verdict equals an uninterrupted run's.
+* **Bounded admission.**  The queue never exceeds ``max_queue``;
+  beyond it submissions fail fast with a Retry-After hint instead of
+  growing without bound (the HTTP layer maps this to 429).
+
+State directory layout::
+
+    <state-dir>/journal/journal-00000N.wal   write-ahead journal
+    <state-dir>/jobs/<job-id>/ckpt/          campaign snapshots
+    <state-dir>/jobs/<job-id>/verdict.json   CRC-checked verdict
+    <state-dir>/endpoint.json                host/port/pid discovery
+
+Shards run on a small thread pool (NumPy releases the GIL for the hot
+kernels); the asyncio side never blocks on campaign work, and the
+drain path stops the pool **between** shards, checkpoints, and leaves
+the rest to the next incarnation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import (
+    AdmissionError,
+    CampaignAbortedError,
+    CheckpointError,
+    ConfigurationError,
+    ReproError,
+)
+from ..obs.context import span
+from ..resilience.campaign import CampaignSpec, ResilientCampaign
+from ..resilience.chaos import ChaosInjector, InjectedKillError
+from ..resilience.checkpoint import (
+    CheckpointStore,
+    read_checkpoint,
+    write_checkpoint,
+)
+from ..testing.library import TestcaseLibrary
+from .chaos import ServiceChaos
+from .journal import JournalWriter, ReplayReport, replay_journal
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "CampaignScheduler",
+    "VERDICT_FILE",
+]
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+
+VERDICT_FILE = "verdict.json"
+
+_JOB_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+_AUTO_ID_RE = re.compile(r"^job-(\d{6,})$")
+
+#: Spec keys a submission may carry besides the CampaignSpec fields.
+_SUBMIT_EXTRAS = ("job_id", "chaos")
+
+
+@dataclass
+class JobRecord:
+    """Scheduler-side view of one submitted campaign job."""
+
+    job_id: str
+    spec: CampaignSpec
+    state: str = JOB_QUEUED
+    submitted_seq: int = 0
+    #: Campaign-level chaos schedule ({shard: [kinds]}), test-only.
+    chaos_schedule: Optional[Dict[int, List[str]]] = None
+    chaos_seed: int = 0
+    error: Optional[str] = None
+    restarts: int = 0
+    recovered: bool = False
+    finished_at: Optional[float] = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def status_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "restarts": self.restarts,
+            "recovered": self.recovered,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class _HookedCheckpointStore(CheckpointStore):
+    """Checkpoint store that visits the daemon chaos hook after every
+    durable save — the ``checkpoint_done`` kill point."""
+
+    def __init__(self, directory, chaos: ServiceChaos, keep: int = 2):
+        super().__init__(directory, keep=keep)
+        self._service_chaos = chaos
+
+    def save(self, payload):
+        path = super().save(payload)
+        self._service_chaos.fire("checkpoint_done")
+        return path
+
+
+class CampaignScheduler:
+    """Journal-backed job queue + executor over resilient campaigns."""
+
+    def __init__(
+        self,
+        state_dir,
+        library: TestcaseLibrary,
+        *,
+        max_queue: int = 64,
+        max_active: int = 1,
+        checkpoint_every: int = 2,
+        max_job_restarts: int = 8,
+        job_timeout_s: Optional[float] = None,
+        retry_after_s: float = 1.0,
+        obs=None,
+        chaos: Optional[ServiceChaos] = None,
+    ):
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if max_active < 1:
+            raise ConfigurationError("max_active must be >= 1")
+        self.state_dir = Path(state_dir)
+        self.library = library
+        self.max_queue = max_queue
+        self.max_active = max_active
+        self.checkpoint_every = checkpoint_every
+        self.max_job_restarts = max_job_restarts
+        self.job_timeout_s = job_timeout_s
+        self.retry_after_s = retry_after_s
+        self.obs = obs
+        self.chaos = chaos
+        self.jobs: Dict[str, JobRecord] = {}
+        self.replay_report = ReplayReport()
+        self._order: List[str] = []  # submission order, for recovery
+        self._journal: Optional[JournalWriter] = None
+        self._journal_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_job_number = 1
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: List[asyncio.Task] = []
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._active = 0
+        self._recover()
+
+    # -- recovery ------------------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> Path:
+        return self.state_dir / "jobs" / job_id
+
+    def _verdict_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / VERDICT_FILE
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the journal, then open a fresh
+        segment for this incarnation.  Runs before the API binds."""
+        journal_dir = self.state_dir / "journal"
+        entries = replay_journal(
+            journal_dir, salvage=True, report=self.replay_report
+        )
+        max_seq = 0
+        for entry in entries:
+            max_seq = max(max_seq, entry.seq)
+            job_id = entry.job
+            if entry.kind == "submit" and job_id is not None:
+                try:
+                    spec = CampaignSpec.from_dict(entry.data["spec"])
+                except (KeyError, TypeError, ConfigurationError) as error:
+                    self.replay_report.problems.append(
+                        f"job {job_id}: unusable journaled spec ({error})"
+                    )
+                    continue
+                record = JobRecord(
+                    job_id=job_id,
+                    spec=spec,
+                    submitted_seq=entry.seq,
+                    recovered=True,
+                )
+                chaos = entry.data.get("chaos")
+                if isinstance(chaos, dict):
+                    record.chaos_schedule = {
+                        int(shard): list(kinds)
+                        for shard, kinds in chaos.get(
+                            "schedule", {}
+                        ).items()
+                    }
+                    record.chaos_seed = int(chaos.get("seed", 0))
+                self.jobs[job_id] = record
+                self._order.append(job_id)
+                match = _AUTO_ID_RE.match(job_id)
+                if match:
+                    self._next_job_number = max(
+                        self._next_job_number, int(match.group(1)) + 1
+                    )
+            elif entry.kind == "start" and job_id in self.jobs:
+                self.jobs[job_id].state = JOB_RUNNING
+            elif entry.kind == "verdict" and job_id in self.jobs:
+                self.jobs[job_id].state = JOB_DONE
+            elif entry.kind == "failed" and job_id in self.jobs:
+                record = self.jobs[job_id]
+                record.state = JOB_FAILED
+                record.error = str(entry.data.get("error", "unknown"))
+        # A journaled verdict is only as good as the verdict file it
+        # points at; a crash between journal append and file landing is
+        # impossible (the file is written first), but bit rot is not.
+        for job_id in self._order:
+            record = self.jobs[job_id]
+            if record.state == JOB_DONE:
+                try:
+                    read_checkpoint(self._verdict_path(job_id))
+                except CheckpointError as error:
+                    self.replay_report.problems.append(
+                        f"job {job_id}: verdict file unusable ({error}); "
+                        f"re-running"
+                    )
+                    record.state = JOB_QUEUED
+            elif record.state == JOB_RUNNING:
+                # Interrupted mid-campaign: re-queue; its checkpoint
+                # store carries the resume point.
+                record.state = JOB_QUEUED
+        self._journal = JournalWriter(
+            journal_dir,
+            start_seq=max_seq + 1,
+            post_append=(
+                self.chaos.on_journal_append if self.chaos is not None
+                else None
+            ),
+        )
+        if self.obs is not None:
+            for _ in self.replay_report.problems:
+                self.obs.inc(
+                    "repro_service_journal_appends_total", kind="salvaged"
+                )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def pending_jobs(self) -> List[str]:
+        """Unfinished jobs in submission order (recovery work list)."""
+        return [
+            job_id
+            for job_id in self._order
+            if self.jobs[job_id].state == JOB_QUEUED
+        ]
+
+    async def start(self) -> None:
+        """Spawn workers and enqueue every unfinished journaled job."""
+        self._queue = asyncio.Queue()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_active,
+            thread_name_prefix="repro-job",
+        )
+        for job_id in self.pending_jobs():
+            self._queue.put_nowait(job_id)
+            if self.obs is not None:
+                self.obs.inc("repro_service_jobs_total", event="resumed")
+        self._update_gauges()
+        loop = asyncio.get_running_loop()
+        for _ in range(self.max_active):
+            self._workers.append(loop.create_task(self._worker()))
+
+    async def drain(self) -> None:
+        """Graceful stop: no new work, checkpoint in-flight campaigns.
+
+        Safe to call more than once.  Returns when every worker has
+        parked; queued jobs stay journaled for the next incarnation.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        started = time.monotonic()
+        self._stop_event.set()
+        if self.chaos is not None:
+            self.chaos.fire("drain")
+        if self._queue is not None:
+            for _ in self._workers:
+                self._queue.put_nowait(None)
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        with self._journal_lock:
+            if self._journal is not None:
+                self._journal.close()
+        if self.obs is not None:
+            self.obs.set_gauge(
+                "repro_service_drain_seconds", time.monotonic() - started
+            )
+            self._update_gauges()
+
+    # -- admission -----------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        if self.obs is None:
+            return
+        depth = self._queue.qsize() if self._queue is not None else len(
+            self.pending_jobs()
+        )
+        self.obs.set_gauge("repro_service_queue_depth", depth)
+        self.obs.set_gauge("repro_service_active_jobs", self._active)
+
+    def _journal_append(self, kind: str, job_id: str, **data) -> int:
+        with self._journal_lock:
+            if self._journal is None:
+                raise AdmissionError(
+                    "journal is closed (daemon draining)", status=503
+                )
+            seq = self._journal.append(kind, job=job_id, **data)
+        if self.obs is not None:
+            self.obs.inc("repro_service_journal_appends_total", kind=kind)
+        return seq
+
+    def parse_submission(self, body: Dict[str, object]) -> Dict[str, object]:
+        """Validate a ``/submit`` body; returns normalized fields.
+
+        Raises :class:`ConfigurationError` (HTTP 400) on anything the
+        spec layer rejects, :class:`AdmissionError` on service-level
+        violations.
+        """
+        if not isinstance(body, dict):
+            raise ConfigurationError("submission body must be a JSON object")
+        unknown = set(body) - set(_SUBMIT_EXTRAS) - {
+            spec_field.name
+            for spec_field in CampaignSpec.__dataclass_fields__.values()
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown submission fields: {sorted(unknown)}"
+            )
+        spec_fields = {
+            key: value
+            for key, value in body.items()
+            if key not in _SUBMIT_EXTRAS
+        }
+        spec = CampaignSpec.from_dict(spec_fields)
+        job_id = body.get("job_id")
+        if job_id is not None:
+            if not isinstance(job_id, str) or not _JOB_ID_RE.match(job_id):
+                raise ConfigurationError(
+                    "job_id must match [A-Za-z0-9][A-Za-z0-9._-]{0,63}"
+                )
+        chaos = body.get("chaos")
+        if chaos is not None:
+            if not isinstance(chaos, dict) or not isinstance(
+                chaos.get("schedule", {}), dict
+            ):
+                raise ConfigurationError(
+                    "chaos must be {'schedule': {shard: [kinds]}, 'seed': n}"
+                )
+        return {"spec": spec, "job_id": job_id, "chaos": chaos}
+
+    async def submit(self, body: Dict[str, object]) -> JobRecord:
+        """Admit one job: validate, journal (fsync), queue, return.
+
+        The returned record is the acknowledgment; it must not be sent
+        to the client before this coroutine finishes (the journal write
+        is the point of no return).
+        """
+        if self._draining or self._queue is None:
+            raise AdmissionError(
+                "daemon is draining; resubmit to the next incarnation",
+                status=503,
+                retry_after_s=self.retry_after_s,
+            )
+        normalized = self.parse_submission(body)
+        depth = self._queue.qsize() + self._active
+        if depth >= self.max_queue:
+            if self.obs is not None:
+                self.obs.inc("repro_service_jobs_total", event="rejected")
+            raise AdmissionError(
+                f"admission queue is full ({depth} in flight, "
+                f"max {self.max_queue})",
+                status=429,
+                retry_after_s=self.retry_after_s,
+            )
+        with self._id_lock:
+            job_id = normalized["job_id"]
+            if job_id is None:
+                job_id = f"job-{self._next_job_number:06d}"
+                self._next_job_number += 1
+            elif job_id in self.jobs:
+                raise AdmissionError(
+                    f"job id {job_id!r} already exists", status=409
+                )
+            record = JobRecord(job_id=job_id, spec=normalized["spec"])
+            chaos = normalized["chaos"]
+            if chaos is not None:
+                record.chaos_schedule = {
+                    int(shard): list(kinds)
+                    for shard, kinds in chaos.get("schedule", {}).items()
+                }
+                record.chaos_seed = int(chaos.get("seed", 0))
+            # Reserve the id before the (await-ing) journal write so a
+            # concurrent duplicate submission cannot race past the check.
+            self.jobs[job_id] = record
+            self._order.append(job_id)
+        if self.chaos is not None:
+            self.chaos.fire("submit_pre_ack")
+        journal_data: Dict[str, object] = {
+            "spec": record.spec.to_dict(),
+        }
+        if record.chaos_schedule is not None:
+            journal_data["chaos"] = {
+                "schedule": {
+                    str(shard): kinds
+                    for shard, kinds in record.chaos_schedule.items()
+                },
+                "seed": record.chaos_seed,
+            }
+        try:
+            record.submitted_seq = await asyncio.get_running_loop(
+            ).run_in_executor(
+                None,
+                lambda: self._journal_append(
+                    "submit", job_id, **journal_data
+                ),
+            )
+        except Exception:
+            with self._id_lock:
+                self.jobs.pop(job_id, None)
+                if job_id in self._order:
+                    self._order.remove(job_id)
+            raise
+        if self.chaos is not None:
+            self.chaos.fire("submit_post_ack")
+        self._queue.put_nowait(job_id)
+        if self.obs is not None:
+            self.obs.inc("repro_service_jobs_total", event="submitted")
+        self._update_gauges()
+        return record
+
+    # -- queries -------------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        return self.jobs.get(job_id)
+
+    def jobs_overview(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        for record in self.jobs.values():
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return {
+            "jobs": [
+                self.jobs[job_id].status_dict() for job_id in self._order
+            ],
+            "counts": counts,
+            "draining": self._draining,
+        }
+
+    def verdict(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The verified verdict payload for a finished job, else None."""
+        record = self.jobs.get(job_id)
+        if record is None or record.state != JOB_DONE:
+            return None
+        return read_checkpoint(self._verdict_path(job_id))
+
+    # -- execution -----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            if job_id is None:
+                return
+            record = self.jobs[job_id]
+            self._active += 1
+            self._update_gauges()
+            try:
+                await loop.run_in_executor(
+                    self._executor, self._run_job, record
+                )
+            finally:
+                self._active -= 1
+                self._update_gauges()
+
+    def _campaign_for(
+        self, record: JobRecord, store: CheckpointStore,
+        chaos: Optional[ChaosInjector],
+    ) -> ResilientCampaign:
+        if store.load_latest() is not None:
+            return ResilientCampaign.resume(
+                store,
+                self.library,
+                spec=record.spec,
+                chaos=chaos,
+                checkpoint_every=self.checkpoint_every,
+                obs=self.obs,
+            )
+        return ResilientCampaign.from_spec(
+            record.spec,
+            self.library,
+            checkpoint_store=store,
+            chaos=chaos,
+            checkpoint_every=self.checkpoint_every,
+            obs=self.obs,
+        )
+
+    def _run_job(self, record: JobRecord) -> None:
+        """Drive one job to verdict/failure/suspension (worker thread)."""
+        job_dir = self._job_dir(record.job_id)
+        if self.chaos is not None:
+            store: CheckpointStore = _HookedCheckpointStore(
+                job_dir / "ckpt", self.chaos
+            )
+        else:
+            store = CheckpointStore(job_dir / "ckpt")
+        chaos_inj = (
+            ChaosInjector(record.chaos_schedule, seed=record.chaos_seed)
+            if record.chaos_schedule
+            else None
+        )
+        resuming = store.load_latest() is not None
+        record.state = JOB_RUNNING
+        self._journal_append("start", record.job_id, resume=resuming)
+        if self.obs is not None:
+            self.obs.inc("repro_service_jobs_total", event="started")
+        deadline = (
+            time.monotonic() + self.job_timeout_s
+            if self.job_timeout_s is not None
+            else None
+        )
+        with span(self.obs, "service.job", job=record.job_id):
+            while True:  # in-daemon supervisor loop (injected kills)
+                campaign = self._campaign_for(record, store, chaos_inj)
+                try:
+                    suspended = self._pump(campaign, record, deadline)
+                    if suspended:
+                        # Drain: state stays journaled as running; the
+                        # next incarnation re-queues and resumes.
+                        return
+                    self._finish(record, campaign)
+                    return
+                except InjectedKillError as error:
+                    record.restarts += 1
+                    if record.restarts > self.max_job_restarts:
+                        self._fail(
+                            record,
+                            f"killed {record.restarts} times: {error}",
+                        )
+                        return
+                except (CampaignAbortedError, ReproError) as error:
+                    self._fail(record, str(error))
+                    return
+                finally:
+                    campaign.close()
+
+    def _pump(
+        self,
+        campaign: ResilientCampaign,
+        record: JobRecord,
+        deadline: Optional[float],
+    ) -> bool:
+        """Step the campaign until done; True means drain-suspended."""
+        while True:
+            if self._stop_event.is_set():
+                campaign.checkpoint_now()
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                raise CampaignAbortedError(
+                    f"job exceeded its {self.job_timeout_s:.0f}s budget "
+                    f"at cursor {campaign.cursor}"
+                )
+            more = campaign.step()
+            if self.chaos is not None:
+                self.chaos.fire("shard_done")
+            if not more:
+                return False
+
+    def _finish(
+        self, record: JobRecord, campaign: ResilientCampaign
+    ) -> None:
+        payload = {
+            "job_id": record.job_id,
+            "spec": record.spec.to_dict(),
+            "result": campaign.result.to_dict(),
+            "health": campaign.health.to_dict(),
+            "restarts": record.restarts,
+        }
+        # Verdict file first, then the journal entry that blesses it:
+        # a crash between the two re-runs the (deterministic) job, it
+        # never serves a verdict that does not exist.
+        write_checkpoint(self._verdict_path(record.job_id), payload)
+        self._journal_append(
+            "verdict",
+            record.job_id,
+            detections=len(campaign.result.detections),
+            undetected=len(campaign.result.undetected_ids),
+        )
+        record.state = JOB_DONE
+        record.finished_at = time.monotonic()
+        if self.obs is not None:
+            self.obs.inc("repro_service_jobs_total", event="completed")
+
+    def _fail(self, record: JobRecord, error: str) -> None:
+        record.error = error
+        self._journal_append("failed", record.job_id, error=error)
+        record.state = JOB_FAILED
+        record.finished_at = time.monotonic()
+        if self.obs is not None:
+            self.obs.inc("repro_service_jobs_total", event="failed")

@@ -1,0 +1,403 @@
+"""Unit tests for the ``repro serve`` daemon stack.
+
+Covers the journal's crash contract (torn tails vs corruption), the
+chaos-spec grammar, the scheduler's recovery state machine, and the
+in-process HTTP API end to end — including the acceptance-criteria
+behaviors: verdict parity with a direct campaign run, and a saturated
+admission queue answering 429 with Retry-After while losing nothing.
+"""
+
+import json
+import threading
+import zlib
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    JournalCorruptError,
+    ServiceError,
+)
+from repro.resilience import CampaignSpec, ResilientCampaign
+from repro.service import (
+    JournalWriter,
+    Rejected,
+    ReplayReport,
+    ServiceChaos,
+    ServiceClient,
+    ServiceThread,
+    parse_chaos_spec,
+    replay_journal,
+)
+from repro.service.journal import _canonical
+from repro.service.scheduler import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    CampaignScheduler,
+)
+from repro.testing import build_library
+
+#: Small but non-trivial: ~35 faulty CPUs, several shards.
+SPEC = dict(
+    total_processors=1500,
+    fleet_seed=3,
+    pipeline_seed=5,
+    failure_rate_scale=80.0,
+    shard_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library()
+
+
+# -- journal ----------------------------------------------------------------
+
+
+class TestJournal:
+    def test_round_trip_and_seq_continuity(self, tmp_path):
+        with JournalWriter(tmp_path) as journal:
+            assert journal.append("submit", job="a", spec={"n": 1}) == 1
+            assert journal.append("start", job="a") == 2
+        # A second incarnation opens a new segment and continues seq.
+        entries = replay_journal(tmp_path)
+        with JournalWriter(
+            tmp_path, start_seq=entries[-1].seq + 1
+        ) as journal:
+            assert journal.append("verdict", job="a", detections=3) == 3
+        entries = replay_journal(tmp_path)
+        assert [e.seq for e in entries] == [1, 2, 3]
+        assert [e.kind for e in entries] == ["submit", "start", "verdict"]
+        assert entries[0].data == {"spec": {"n": 1}}
+        assert len(list(tmp_path.glob("journal-*.wal"))) == 2
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        with JournalWriter(tmp_path) as journal:
+            journal.append("submit", job="a")
+            journal.append("submit", job="b")
+        path = next(tmp_path.glob("journal-*.wal"))
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # crash mid-append of the last line
+        report = ReplayReport()
+        entries = replay_journal(tmp_path, report=report)
+        assert [e.job for e in entries] == ["a"]
+        assert any("torn tail" in p for p in report.problems)
+
+    def test_mid_segment_corruption_raises_without_salvage(self, tmp_path):
+        with JournalWriter(tmp_path) as journal:
+            journal.append("submit", job="a")
+            journal.append("submit", job="b")
+            journal.append("submit", job="c")
+        path = next(tmp_path.glob("journal-*.wal"))
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2].replace('"job":"b"', '"job":"x"')  # CRC breaks
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError):
+            replay_journal(tmp_path)
+        report = ReplayReport()
+        entries = replay_journal(tmp_path, salvage=True, report=report)
+        # Salvage truncates the damaged segment at the bad line.
+        assert [e.job for e in entries] == ["a"]
+        assert any("truncated" in p for p in report.problems)
+
+    def test_empty_and_headerless_segments_are_tolerated(self, tmp_path):
+        (tmp_path / "journal-000001.wal").write_text("")
+        (tmp_path / "journal-000002.wal").write_text('{"garb')
+        report = ReplayReport()
+        assert replay_journal(tmp_path, report=report) == []
+        assert report.segments == 2
+        assert len(report.problems) == 2
+
+    def test_unsupported_version_raises(self, tmp_path):
+        header = {"format": "repro-service-journal", "version": 99}
+        (tmp_path / "journal-000001.wal").write_text(
+            _canonical(header).decode() + "\n"
+        )
+        with pytest.raises(JournalCorruptError):
+            replay_journal(tmp_path)
+
+    def test_crc_seal_matches_canonical_encoding(self, tmp_path):
+        with JournalWriter(tmp_path) as journal:
+            journal.append("submit", job="a", spec={"k": [1, 2]})
+        line = next(
+            tmp_path.glob("journal-*.wal")
+        ).read_text().splitlines()[1]
+        record = json.loads(line)
+        claimed = record.pop("crc32")
+        assert zlib.crc32(_canonical(record)) == claimed
+
+
+# -- chaos spec grammar ------------------------------------------------------
+
+
+class TestChaosSpec:
+    def test_parse_valid(self):
+        actions = parse_chaos_spec(
+            "kill:shard_done:5, tear_journal:journal_append:3"
+        )
+        assert actions == [
+            ("kill", "shard_done", 5),
+            ("tear_journal", "journal_append", 3),
+        ]
+
+    @pytest.mark.parametrize("bad", [
+        "explode:shard_done:1",      # unknown action
+        "kill:reboot:1",             # unknown hook point
+        "kill:shard_done:zero",      # non-integer nth
+        "kill:shard_done:0",         # nth must be >= 1
+        "kill:shard_done",           # wrong arity
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_chaos_spec(bad)
+
+    def test_from_spec_empty_is_none(self):
+        assert ServiceChaos.from_spec(None) is None
+        assert ServiceChaos.from_spec("  ") is None
+
+
+# -- scheduler recovery state machine ---------------------------------------
+
+
+class TestRecovery:
+    def _journal(self, state_dir):
+        return JournalWriter(state_dir / "journal")
+
+    def test_replay_rebuilds_job_table(self, tmp_path, library):
+        spec = CampaignSpec(**{
+            k: v for k, v in SPEC.items()
+        }).to_dict()
+        with self._journal(tmp_path) as journal:
+            journal.append("submit", job="job-000001", spec=spec)
+            journal.append("start", job="job-000001", resume=False)
+            journal.append("submit", job="job-000002", spec=spec)
+            journal.append("failed", job="job-000002", error="boom")
+            journal.append("submit", job="custom.id", spec=spec)
+        scheduler = CampaignScheduler(tmp_path, library)
+        # running → re-queued; failed stays failed; untouched → queued
+        assert scheduler.jobs["job-000001"].state == JOB_QUEUED
+        assert scheduler.jobs["job-000002"].state == JOB_FAILED
+        assert scheduler.jobs["job-000002"].error == "boom"
+        assert scheduler.jobs["custom.id"].state == JOB_QUEUED
+        assert scheduler.pending_jobs() == ["job-000001", "custom.id"]
+        # auto-id numbering continues past the replayed maximum
+        assert scheduler._next_job_number == 3
+        assert all(r.recovered for r in scheduler.jobs.values())
+
+    def test_journaled_verdict_without_file_is_rerun(self, tmp_path, library):
+        spec = CampaignSpec(**SPEC).to_dict()
+        with self._journal(tmp_path) as journal:
+            journal.append("submit", job="job-000001", spec=spec)
+            journal.append("start", job="job-000001", resume=False)
+            journal.append("verdict", job="job-000001", detections=7)
+        # No verdict.json on disk: the journal's claim is unusable.
+        scheduler = CampaignScheduler(tmp_path, library)
+        assert scheduler.jobs["job-000001"].state == JOB_QUEUED
+        assert any(
+            "verdict file unusable" in p
+            for p in scheduler.replay_report.problems
+        )
+
+    def test_unusable_journaled_spec_is_reported_not_fatal(
+        self, tmp_path, library
+    ):
+        with self._journal(tmp_path) as journal:
+            journal.append(
+                "submit", job="job-000001", spec={"total_processors": -4}
+            )
+        scheduler = CampaignScheduler(tmp_path, library)
+        assert "job-000001" not in scheduler.jobs
+        assert any(
+            "unusable journaled spec" in p
+            for p in scheduler.replay_report.problems
+        )
+
+
+# -- submission validation ---------------------------------------------------
+
+
+class TestSubmission:
+    @pytest.fixture()
+    def scheduler(self, tmp_path, library):
+        return CampaignScheduler(tmp_path, library)
+
+    def test_unknown_fields_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError, match="unknown submission"):
+            scheduler.parse_submission(dict(SPEC, frobnicate=1))
+
+    def test_bad_job_id_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError, match="job_id"):
+            scheduler.parse_submission(dict(SPEC, job_id="-leading-dash"))
+        with pytest.raises(ConfigurationError, match="job_id"):
+            scheduler.parse_submission(dict(SPEC, job_id="x" * 80))
+
+    def test_bad_chaos_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError, match="chaos"):
+            scheduler.parse_submission(dict(SPEC, chaos=[1, 2]))
+
+    def test_spec_validation_propagates(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.parse_submission(dict(SPEC, engine="quantum"))
+
+
+# -- in-process HTTP API -----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory, library):
+    state = tmp_path_factory.mktemp("service-state")
+    with ServiceThread(
+        state, library=library, max_queue=64, checkpoint_every=1
+    ) as handle:
+        yield ServiceClient("127.0.0.1", handle.port)
+
+
+class TestApi:
+    def test_health_and_ready(self, service):
+        assert service.healthz()
+        assert service.readyz()
+
+    def test_submit_verdict_matches_direct_campaign(self, service, library):
+        ack = service.submit(dict(SPEC, job_id="parity-check"))
+        assert ack["job_id"] == "parity-check"
+        verdict = service.wait_verdict("parity-check", timeout_s=120)
+        direct = ResilientCampaign.from_spec(CampaignSpec(**SPEC), library)
+        direct.run()
+        assert verdict["result"] == direct.result.to_dict()
+        assert verdict["spec"] == CampaignSpec(**SPEC).to_dict()
+
+    def test_duplicate_job_id_is_409(self, service):
+        service.submit(dict(SPEC, job_id="dup"))
+        reply = service._request("POST", "/submit", body=dict(SPEC, job_id="dup"))
+        assert reply.status == 409
+        assert "already exists" in reply.json()["error"]
+
+    def test_bad_submission_is_400(self, service):
+        reply = service._request(
+            "POST", "/submit", body=dict(SPEC, frobnicate=1)
+        )
+        assert reply.status == 400
+        assert "unknown submission" in reply.json()["error"]
+
+    def test_malformed_json_is_400(self, service):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            service.host, service.port, timeout=10
+        )
+        try:
+            connection.request("POST", "/submit", body=b"{not json")
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_unknown_job_is_404(self, service):
+        assert service.job("never-submitted") is None
+        reply = service._request("GET", "/verdicts/never-submitted")
+        assert reply.status == 404
+
+    def test_wrong_method_is_405_with_allow(self, service):
+        reply = service._request("GET", "/submit")
+        assert reply.status == 405
+        assert reply.headers.get("allow") == "POST"
+        reply = service._request("POST", "/healthz")
+        assert reply.status == 405
+
+    def test_unknown_route_is_404(self, service):
+        assert service._request("GET", "/nope").status == 404
+
+    def test_metrics_exposition(self, service):
+        text = service.metrics_text()
+        assert "repro_service_http_requests_total" in text
+        assert "repro_service_jobs_total" in text
+
+    def test_jobs_overview(self, service):
+        overview = service.jobs()
+        assert set(overview["counts"]) == {
+            "queued", "running", "done", "failed",
+        }
+        assert overview["draining"] is False
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_answers_429_and_loses_nothing(
+        self, tmp_path, library
+    ):
+        # A chaos delay on every shard keeps the first job in flight
+        # long enough to observe saturation deterministically.
+        slow = dict(
+            SPEC, shard_size=1,
+            chaos={"schedule": {
+                str(shard): ["delay"] for shard in range(40)
+            }},
+        )
+        with ServiceThread(
+            tmp_path, library=library, max_queue=1, checkpoint_every=1000
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            ack = client.submit(dict(slow, job_id="hog"))
+            assert ack["state"] == "queued"
+            saw_429 = False
+            for attempt in range(50):
+                try:
+                    client.submit(dict(SPEC, job_id=f"extra-{attempt}"))
+                except Rejected as rejection:
+                    assert rejection.status == 429
+                    assert rejection.retry_after_s >= 1.0
+                    saw_429 = True
+                    break
+            assert saw_429, "never saw a 429 from a saturated queue"
+            # The daemon is alive and the acknowledged job completes.
+            assert client.healthz()
+            verdict = client.wait_verdict("hog", timeout_s=120)
+            assert verdict["status"] == "done"
+
+    def test_draining_daemon_answers_503(self, tmp_path, library):
+        handle = ServiceThread(
+            tmp_path, library=library, checkpoint_every=1
+        ).start()
+        client = ServiceClient("127.0.0.1", handle.port)
+        assert client.readyz()
+        handle.service.scheduler._draining = True
+        try:
+            assert not client.readyz()
+            with pytest.raises(Rejected) as info:
+                client.submit(dict(SPEC))
+            assert info.value.status == 503
+        finally:
+            handle.service.scheduler._draining = False
+            handle.stop()
+
+
+class TestGracefulDrain:
+    def test_drain_suspends_and_restart_resumes(self, tmp_path, library):
+        slow = dict(
+            SPEC, shard_size=1, job_id="suspended",
+            chaos={"schedule": {
+                str(shard): ["delay"] for shard in range(40)
+            }},
+        )
+        handle = ServiceThread(
+            tmp_path, library=library, checkpoint_every=1
+        ).start()
+        client = ServiceClient("127.0.0.1", handle.port)
+        client.submit(slow)
+        handle.stop()  # graceful drain mid-campaign
+        # Metrics snapshot lands on drain.
+        assert (tmp_path / "metrics.prom").exists()
+        # Next incarnation on the same state dir finishes the job.
+        with ServiceThread(
+            tmp_path, library=library, checkpoint_every=1
+        ) as handle2:
+            client = ServiceClient("127.0.0.1", handle2.port)
+            record = client.job("suspended")
+            assert record is not None
+            assert record["recovered"] is True
+            verdict = client.wait_verdict("suspended", timeout_s=120)
+        direct = ResilientCampaign.from_spec(
+            CampaignSpec(**dict(SPEC, shard_size=1)), library
+        )
+        direct.run()
+        assert verdict["result"] == direct.result.to_dict()
