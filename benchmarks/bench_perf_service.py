@@ -1,0 +1,297 @@
+"""Service throughput benchmark: `repro serve` at 1 vs N worker cores.
+
+Drives a real in-thread service (:class:`~repro.service.ServiceThread`)
+through complete submitted-to-verdict round trips and records what the
+multi-process execution path buys: per-job client-observed latency and
+batch verdicts/sec at ``--core-budget 1`` (in-process vectorized, the
+thread-mode baseline) versus ``--core-budget N`` (shared-memory fleet +
+process-pool shards under the core governor).
+
+Parity is enforced unconditionally and twice over:
+
+* every benchmarked verdict must be bit-identical to a direct
+  :class:`~repro.resilience.campaign.ResilientCampaign` run of the same
+  spec (the service layer must add zero result surface);
+* a separate parity matrix re-checks multiproc-vs-thread verdicts for
+  every (fleet_seed, workers, shard_size) combination before any
+  timing is reported.
+
+Timing honesty mirrors bench_perf_fleet.py: the numbers are recorded
+whatever the machine, but CI's speedup gate
+(``--min-service-speedup``) only fires on >= 4 effective cores — a
+1-core runner documents "no speedup available" instead of flaking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_service.py
+    PYTHONPATH=src python benchmarks/bench_perf_service.py \
+        --processors 6000 --jobs 2 --workers 2 --out /tmp/smoke.json
+"""
+
+import argparse
+import json
+import logging
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.perf.parallel import default_workers
+from repro.resilience import CampaignSpec, ResilientCampaign
+from repro.service import ServiceClient, ServiceThread
+from repro.obs import logging_setup
+from repro.testing import build_library
+
+logger = logging.getLogger("repro.bench.perf_service")
+
+#: The governor granule used for every service under test: small enough
+#: that benchmark-sized fleets exercise real multi-worker arbitration.
+GRANULE = 8
+
+
+def _direct_result(spec_dict: dict, library) -> dict:
+    campaign = ResilientCampaign.from_spec(CampaignSpec(**spec_dict), library)
+    campaign.run()
+    return campaign.result.to_dict()
+
+
+def _run_batch(
+    spec_dict: dict,
+    library,
+    core_budget: int,
+    jobs: int,
+    timeout_s: float,
+) -> dict:
+    """Submit ``jobs`` copies of the spec to a fresh service and wait
+    them all out.  Returns batch wall seconds, per-job latencies, and
+    the verdict payloads (for the parity check)."""
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+    try:
+        with ServiceThread(
+            state_dir, library=library, max_queue=max(64, jobs * 2),
+            checkpoint_every=4, core_budget=core_budget,
+            parallel_granule=GRANULE,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            started = time.perf_counter()
+            submitted = []
+            for index in range(jobs):
+                job_id = f"bench-{core_budget}-{index}"
+                client.submit(dict(spec_dict, job_id=job_id))
+                submitted.append((job_id, time.perf_counter()))
+            latencies, results = [], []
+            for job_id, submit_time in submitted:
+                verdict = client.wait_verdict(
+                    job_id, timeout_s=timeout_s, poll_s=0.01
+                )
+                latencies.append(time.perf_counter() - submit_time)
+                results.append(verdict["result"])
+            batch_s = time.perf_counter() - started
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+    return {
+        "batch_s": batch_s,
+        "latencies": latencies,
+        "results": results,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    library = build_library()
+    spec_dict = dict(
+        total_processors=args.processors,
+        fleet_seed=args.fleet_seed,
+        pipeline_seed=args.seed,
+        failure_rate_scale=args.scale,
+        shard_size=args.shard_size,
+    )
+    reference = _direct_result(spec_dict, library)
+    workers = (
+        args.workers if args.workers is not None else default_workers()
+    )
+
+    # Parity matrix first: multiproc-vs-thread verdicts for every
+    # (fleet_seed, workers, shard_size) combination, on a smaller fleet
+    # so the matrix stays cheap.  Any divergence aborts the benchmark
+    # before a single timing number is reported.
+    parity_matrix = []
+    for fleet_seed in args.parity_seeds:
+        for shard_size in args.parity_shard_sizes:
+            case = dict(
+                spec_dict,
+                total_processors=args.parity_processors,
+                fleet_seed=fleet_seed,
+                shard_size=shard_size,
+            )
+            expected = _direct_result(case, library)
+            for count in sorted({1, workers}):
+                batch = _run_batch(
+                    case, library, core_budget=count, jobs=1,
+                    timeout_s=args.timeout_s,
+                )
+                assert batch["results"][0] == expected, (
+                    f"service verdict diverged from thread mode at "
+                    f"fleet_seed={fleet_seed} shard_size={shard_size} "
+                    f"workers={count}"
+                )
+                parity_matrix.append({
+                    "fleet_seed": fleet_seed,
+                    "shard_size": shard_size,
+                    "workers": count,
+                    "parity": "exact",
+                })
+    logger.info("parity matrix: %d combinations exact", len(parity_matrix))
+
+    # Scaling curve: the same job batch at increasing core budgets,
+    # every verdict parity-checked against the direct campaign.
+    curve_workers = sorted({1, 2, workers} & set(range(1, workers + 1)))
+    scaling_curve = []
+    for count in curve_workers:
+        best = None
+        for _ in range(args.repeats):
+            batch = _run_batch(
+                spec_dict, library, core_budget=count, jobs=args.jobs,
+                timeout_s=args.timeout_s,
+            )
+            for index, result in enumerate(batch["results"]):
+                assert result == reference, (
+                    f"verdict diverged at core_budget={count} job {index}"
+                )
+            if best is None or batch["batch_s"] < best["batch_s"]:
+                best = batch
+        latencies = best["latencies"]
+        scaling_curve.append({
+            "workers": count,
+            "seconds": round(best["batch_s"], 4),
+            "verdicts_per_s": round(args.jobs / best["batch_s"], 3),
+            "mean_latency_s": round(sum(latencies) / len(latencies), 4),
+            "max_latency_s": round(max(latencies), 4),
+        })
+    base_s = scaling_curve[0]["seconds"]
+    for point in scaling_curve:
+        point["speedup"] = round(base_s / point["seconds"], 2)
+        point["efficiency"] = round(
+            base_s / (point["seconds"] * point["workers"]), 2
+        )
+    top = scaling_curve[-1]
+
+    return {
+        "benchmark": "bench_perf_service",
+        "fleet": {
+            "total_processors": args.processors,
+            "failure_rate_scale": args.scale,
+            "seed": args.fleet_seed,
+        },
+        "pipeline_seed": args.seed,
+        "shard_size": args.shard_size,
+        "jobs_per_batch": args.jobs,
+        "repeats": args.repeats,
+        "workers": workers,
+        "serial_batch_s": round(base_s, 4),
+        "parallel_batch_s": top["seconds"],
+        "parallel_speedup": top["speedup"],
+        "serial_verdicts_per_s": scaling_curve[0]["verdicts_per_s"],
+        "parallel_verdicts_per_s": top["verdicts_per_s"],
+        "parity": "exact",
+        "parity_matrix": parity_matrix,
+        "scaling_curve": scaling_curve,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "effective_cores": default_workers(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--processors", type=int, default=20_000)
+    parser.add_argument(
+        "--scale", type=float, default=80.0,
+        help="failure_rate_scale densifying the faulty population",
+    )
+    parser.add_argument("--fleet-seed", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=5, help="pipeline seed")
+    parser.add_argument(
+        "--shard-size", type=int, default=512,
+        help="campaign shard size (checkpoint + governor granule)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="jobs per timed batch",
+    )
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="largest core budget to benchmark (default: effective CPUs)",
+    )
+    parser.add_argument(
+        "--parity-processors", type=int, default=6000,
+        help="fleet size for the parity matrix",
+    )
+    parser.add_argument(
+        "--parity-seeds", type=int, nargs="+", default=[3, 9],
+        help="fleet seeds swept by the parity matrix",
+    )
+    parser.add_argument(
+        "--parity-shard-sizes", type=int, nargs="+", default=[128, 256],
+        help="shard sizes swept by the parity matrix",
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=600.0,
+        help="per-job verdict wait bound",
+    )
+    parser.add_argument(
+        "--min-service-speedup", type=float, default=0.0,
+        help="fail unless the top-budget batch reaches this speedup "
+             "over core-budget 1 (only enforced on machines with >= 4 "
+             "effective cores; parity is always enforced)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+    logging_setup(verbose=1)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    report = run(args)
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(
+        f"service x1 {report['serial_batch_s']:.3f}s "
+        f"({report['serial_verdicts_per_s']:.2f} verdicts/s)  "
+        f"x{report['workers']} {report['parallel_batch_s']:.3f}s "
+        f"({report['parallel_verdicts_per_s']:.2f} verdicts/s)  "
+        f"speedup {report['parallel_speedup']:.2f}x  "
+        f"parity exact ({len(report['parity_matrix'])} combos)"
+    )
+    curve = " ".join(
+        f"x{p['workers']}={p['seconds']:.3f}s({p['speedup']:.2f}x)"
+        for p in report["scaling_curve"]
+    )
+    print(f"scaling curve: {curve}")
+    logger.info("wrote %s", args.out)
+    cores = report["environment"]["effective_cores"]
+    if args.min_service_speedup > 0.0 and cores >= 4:
+        if report["parallel_speedup"] < args.min_service_speedup:
+            logger.error(
+                "FAIL: service speedup %.2fx below gate %.2fx on %d cores",
+                report["parallel_speedup"],
+                args.min_service_speedup,
+                cores,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

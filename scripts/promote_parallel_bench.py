@@ -17,6 +17,11 @@ measured somewhere that can actually speak to scaling:
   efficiency when the committed artifact already came from a capable
   runner (never replace a good measurement with a worse one).
 
+The same gates generalize to any benchmark whose report carries
+``parity``, ``scaling_curve`` and ``environment.effective_cores``:
+pass ``--benchmark-name bench_perf_service`` to promote the service
+throughput curve into ``BENCH_service.json``.
+
 Exit codes: 0 promoted or cleanly skipped, 1 candidate rejected.
 """
 
@@ -45,6 +50,7 @@ def promote(
     committed_path: Path,
     min_cores: int,
     dry_run: bool = False,
+    benchmark_name: str = "bench_parallel_fleet",
 ) -> int:
     try:
         candidate = json.loads(candidate_path.read_text())
@@ -61,8 +67,11 @@ def promote(
     if candidate.get("parity") != "exact":
         log(f"reject: candidate parity is {candidate.get('parity')!r}")
         return 1
-    if candidate.get("benchmark") != "bench_parallel_fleet":
-        log(f"reject: not a parallel fleet report: {candidate.get('benchmark')!r}")
+    if candidate.get("benchmark") != benchmark_name:
+        log(
+            f"reject: not a {benchmark_name} report: "
+            f"{candidate.get('benchmark')!r}"
+        )
         return 1
     candidate_eff = _multi_core_efficiency(candidate)
     if candidate_eff <= 0.0:
@@ -116,12 +125,19 @@ def main(argv=None) -> int:
         "--dry-run", action="store_true",
         help="report the decision without writing the committed file",
     )
+    parser.add_argument(
+        "--benchmark-name", default="bench_parallel_fleet",
+        help="required 'benchmark' field of the candidate report; the "
+             "same curve/parity/core gates apply to any scaling "
+             "benchmark (e.g. bench_perf_service)",
+    )
     args = parser.parse_args(argv)
     return promote(
         Path(args.candidate),
         Path(args.committed),
         args.min_cores,
         dry_run=args.dry_run,
+        benchmark_name=args.benchmark_name,
     )
 
 

@@ -18,6 +18,14 @@ robustness contract in one pass:
 Exit status 0 means the drill passed.  Run from the repo root::
 
     PYTHONPATH=src python scripts/service_chaos.py
+    PYTHONPATH=src python scripts/service_chaos.py \
+        --core-budget 2 --parallel-granule 8   # multi-process mode
+
+With ``--core-budget`` the daemon runs jobs on its process pool over
+shared-memory fleets (the drill spec grows shards past the pool's
+64-CPU sub-shard floor so workers actually engage), and the same
+contract must hold: SIGKILLing a daemon whose shards were mid-flight
+in worker processes still yields bit-identical verdicts on restart.
 """
 
 import argparse
@@ -47,6 +55,18 @@ SPEC = dict(
     shard_size=4,
 )
 
+#: Multi-process mode needs shard spans above the pool's 64-CPU
+#: sub-shard floor or the promoted engine falls through to in-process
+#: vectorized execution; the larger fleet keeps several shards so the
+#: SIGKILL rounds still land mid-campaign.
+MP_SPEC = dict(
+    total_processors=20_000,
+    fleet_seed=9,
+    pipeline_seed=13,
+    failure_rate_scale=80.0,
+    shard_size=80,
+)
+
 #: Per-shard chaos delay keeps the reference campaign in flight long
 #: enough for both SIGKILLs to land mid-campaign deterministically.
 SLOW_CHAOS = {"schedule": {str(shard): ["delay"] for shard in range(64)}}
@@ -56,18 +76,23 @@ def log(message: str) -> None:
     print(f"[service-chaos] {message}", flush=True)
 
 
-def start_daemon(state_dir: Path, max_queue: int) -> subprocess.Popen:
+def start_daemon(
+    state_dir: Path, max_queue: int, core_budget: int | None = None,
+    parallel_granule: int | None = None,
+) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
-    return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--state-dir", str(state_dir),
-            "--checkpoint-every", "1",
-            "--max-queue", str(max_queue),
-        ],
-        env=env, cwd=REPO,
-    )
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--state-dir", str(state_dir),
+        "--checkpoint-every", "1",
+        "--max-queue", str(max_queue),
+    ]
+    if core_budget is not None:
+        cmd += ["--core-budget", str(core_budget)]
+    if parallel_granule is not None:
+        cmd += ["--parallel-granule", str(parallel_granule)]
+    return subprocess.Popen(cmd, env=env, cwd=REPO)
 
 
 def wait_ready(state_dir: Path, timeout_s: float = 60.0) -> ServiceClient:
@@ -83,34 +108,45 @@ def wait_ready(state_dir: Path, timeout_s: float = 60.0) -> ServiceClient:
     raise SystemExit("FAIL: daemon never became ready")
 
 
-def expected_result() -> dict:
+def expected_result(spec: dict) -> dict:
     campaign = ResilientCampaign.from_spec(
-        CampaignSpec(**SPEC), build_library()
+        CampaignSpec(**spec), build_library()
     )
     campaign.run()
     return campaign.result.to_dict()
 
 
-def drive(state_dir: Path) -> int:
-    reference = expected_result()
-    log(f"reference verdict: {len(reference['detections'])} detections")
+def drive(
+    state_dir: Path, core_budget: int | None = None,
+    parallel_granule: int | None = None,
+) -> int:
+    spec = SPEC if core_budget is None else MP_SPEC
+    mode = (
+        "single-process" if core_budget is None
+        else f"multi-process (core budget {core_budget})"
+    )
+    reference = expected_result(spec)
+    log(
+        f"reference verdict: {len(reference['detections'])} detections "
+        f"[{mode}]"
+    )
 
     max_queue = 4
-    daemon = start_daemon(state_dir, max_queue)
+    daemon = start_daemon(state_dir, max_queue, core_budget, parallel_granule)
     try:
         client = wait_ready(state_dir)
 
         # Concurrent-ish admission: the slow reference job plus filler
         # jobs up to the queue bound, then saturation must answer 429.
         acked = []
-        ack = client.submit(dict(SPEC, job_id="reference", chaos=SLOW_CHAOS))
+        ack = client.submit(dict(spec, job_id="reference", chaos=SLOW_CHAOS))
         acked.append(ack["job_id"])
         log(f"acked reference (seq {ack['seq']})")
         rejections = 0
         for index in range(max_queue + 8):
             try:
                 ack = client.submit(
-                    dict(SPEC, job_id=f"filler-{index}", chaos=SLOW_CHAOS)
+                    dict(spec, job_id=f"filler-{index}", chaos=SLOW_CHAOS)
                 )
                 acked.append(ack["job_id"])
             except Rejected as rejection:
@@ -136,7 +172,9 @@ def drive(state_dir: Path) -> int:
                     f"FAIL: expected SIGKILL death, got {daemon.returncode}"
                 )
             log(f"SIGKILL round {round_index}: daemon dead, restarting")
-            daemon = start_daemon(state_dir, max_queue)
+            daemon = start_daemon(
+                state_dir, max_queue, core_budget, parallel_granule
+            )
             client = wait_ready(state_dir)
             for job_id in acked:
                 if client.job(job_id) is None:
@@ -210,12 +248,24 @@ def main(argv=None) -> int:
         "--state-dir", default=None,
         help="state directory to use (default: a fresh temp dir)",
     )
+    parser.add_argument(
+        "--core-budget", type=int, default=None,
+        help="run the drill in multi-process mode: the daemon gets this "
+             "core budget and the drill spec grows shards large enough "
+             "to engage the process pool",
+    )
+    parser.add_argument(
+        "--parallel-granule", type=int, default=None,
+        help="governor granule passed to the daemon (multi-process mode)",
+    )
     args = parser.parse_args(argv)
     if args.state_dir is not None:
-        return drive(Path(args.state_dir))
+        return drive(
+            Path(args.state_dir), args.core_budget, args.parallel_granule
+        )
     tmp = Path(tempfile.mkdtemp(prefix="repro-service-chaos-"))
     try:
-        return drive(tmp)
+        return drive(tmp, args.core_budget, args.parallel_granule)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 

@@ -202,6 +202,29 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: unlimited)",
     )
     serve.add_argument(
+        "--core-budget", type=int, default=None, metavar="N",
+        help="cores the daemon may spend across all active jobs; heavy "
+             "jobs fan shards out to a process pool within this budget "
+             "(default: usable CPUs per scheduler affinity)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=None, metavar="N",
+        help="per-job worker-process cap inside the core budget "
+             "(default: the whole budget)",
+    )
+    serve.add_argument(
+        "--parallel-granule", type=int, default=64, metavar="CPUS",
+        help="remaining faulty CPUs that justify one more worker; jobs "
+             "below one granule stay in-process vectorized (default 64)",
+    )
+    serve.add_argument(
+        "--retain-verdicts", default=None, metavar="N|AGE",
+        help="verdict retention: keep the newest N verdicts, or those "
+             "younger than AGE (30m/24h/7d); expiry is journaled so a "
+             "restart never resurrects a deleted verdict (default: keep "
+             "everything)",
+    )
+    serve.add_argument(
         "--chaos", default=None, metavar="SPEC",
         help="chaos-testing hook: comma-separated action:point:nth, e.g. "
              "'kill:shard_done:3,tear_journal:journal_append:2' "
@@ -476,6 +499,10 @@ def _cmd_serve(args, obs=None) -> int:
         max_active=args.max_active,
         checkpoint_every=args.checkpoint_every,
         job_timeout_s=args.job_timeout,
+        core_budget=args.core_budget,
+        job_workers=args.job_workers,
+        parallel_granule=args.parallel_granule,
+        retain_verdicts=args.retain_verdicts,
     )
     asyncio.run(service.run())
     return 0

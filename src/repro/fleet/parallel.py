@@ -283,9 +283,45 @@ class ParallelTestPipeline:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the current pool has permanently fallen back to serial."""
+        return self._pool is not None and self._pool.degraded
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pool worker processes (empty before first use)."""
+        if self._pool is None:
+            return []
+        return self._pool.worker_pids()
+
+    def set_workers(self, workers: int) -> None:
+        """Re-size the pool for subsequent ranges (core re-arbitration).
+
+        The published shared-memory segment survives the resize — only
+        the worker processes are respawned, and only lazily, on the
+        next parallel range.  A no-op when the count is unchanged, so
+        callers can re-arbitrate at every shard boundary for free.
+        Dropping to 1 routes later ranges through the in-process
+        vectorized engine without ever building a pool.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == self.workers:
+            return
+        self.workers = workers
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
     def _ensure_pool(self) -> DeterministicPool:
         if self._pool is None:
-            initargs = self._shm_payload() or self._init_payload
+            if self._shared is not None:
+                # A resize dropped the pool but the segment is still
+                # published; hand the new workers the existing handle
+                # instead of re-publishing the columns.
+                initargs = (self._shared.handle,) + self._init_payload[1:]
+            else:
+                initargs = self._shm_payload() or self._init_payload
             self._pool = DeterministicPool(
                 workers=self.workers,
                 initializer=_worker_init,

@@ -42,6 +42,8 @@ pickling it per task.
 from __future__ import annotations
 
 import os
+import signal
+import sys
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
@@ -79,6 +81,46 @@ def default_workers(task_count: int | None = None) -> int:
     if task_count is not None:
         workers = min(workers, task_count)
     return max(1, workers)
+
+
+def _pool_worker_init(initializer, initargs) -> None:
+    """Runs first in every pool worker: sever the signal plumbing
+    inherited from the forked parent, then build the caller's context.
+
+    A forked worker inherits the parent's Python signal handlers and,
+    when the parent runs an asyncio loop, its ``signal.set_wakeup_fd``
+    socket.  Left in place, a SIGTERM aimed at the *worker* (the
+    executor delivers exactly that while tearing down a broken pool) is
+    swallowed by the inherited no-op handler — the worker refuses to
+    die and the executor joins it forever — while the signal byte lands
+    in the *parent's* wakeup pipe, telling a serving daemon to drain
+    when nobody asked it to.  Workers must own their signal fate:
+    default SIGTERM (so teardown kills them), ignore SIGINT (a Ctrl-C
+    is the parent's drain decision, not 2·N tracebacks), no wakeup fd.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # non-main thread or closed fd
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Die with the parent.  A worker blocked on the call-queue pipe
+    # never sees EOF when the parent is SIGKILLed — every worker holds
+    # both pipe ends, so the read blocks forever and each killed daemon
+    # would strand its whole pool as orphans on init.  Linux can deliver
+    # the parent's death as a signal instead.
+    if sys.platform == "linux":
+        try:
+            import ctypes
+
+            libc = ctypes.CDLL(None, use_errno=True)
+            libc.prctl(1, signal.SIGTERM, 0, 0, 0)  # PR_SET_PDEATHSIG
+        except (OSError, AttributeError):
+            pass
+        if os.getppid() == 1:  # parent died before prctl took effect
+            os._exit(0)
+    if initializer is not None:
+        initializer(*initargs)
 
 
 def _record(health, kind: str, detail: str, item: int | None = None) -> None:
@@ -257,6 +299,22 @@ class DeterministicPool:
         """Whether the pool has permanently fallen back to serial."""
         return self._degraded_reason is not None
 
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pool workers (empty when serial/degraded/lazy).
+
+        Chaos tooling uses this to SIGKILL a real worker process
+        mid-shard; operators use it to attribute CPU time.  The list is
+        a snapshot — workers the executor is still spawning are missed,
+        which callers poll around.
+        """
+        if self._pool is None:
+            return []
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sorted(
+            pid for pid, proc in list(processes.items())
+            if proc.is_alive()
+        )
+
     def degrade(self, reason: str) -> None:
         """Permanently retire the worker pool (callers saw it misbehave).
 
@@ -288,8 +346,8 @@ class DeterministicPool:
             try:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
-                    initializer=self._initializer,
-                    initargs=self._initargs,
+                    initializer=_pool_worker_init,
+                    initargs=(self._initializer, self._initargs),
                 )
             except (OSError, PermissionError, ValueError) as error:
                 # Sandboxes without /dev/shm or fork support.

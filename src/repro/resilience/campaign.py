@@ -402,6 +402,43 @@ class ResilientCampaign:
     def done(self) -> bool:
         return self._cursor >= len(self.population.faulty)
 
+    @property
+    def remaining(self) -> int:
+        """Faulty CPUs not yet executed (the core governor's input)."""
+        return max(0, len(self.population.faulty) - self._cursor)
+
+    @property
+    def parallel_degraded(self) -> bool:
+        """True once the parallel engine's pool broke and retired.
+
+        Later shards silently rerun on the in-process vectorized engine
+        (identical output); a supervising host reads this to stop
+        leasing cores to a campaign that can no longer use them.
+        """
+        return self._parallel is not None and self._parallel.degraded
+
+    def worker_pids(self) -> list:
+        """Live pool worker PIDs (empty for in-process campaigns)."""
+        if self._parallel is None:
+            return []
+        return self._parallel.worker_pids()
+
+    def set_workers(self, workers: int) -> None:
+        """Re-target the parallel fan-out width at a shard boundary.
+
+        Safe between any two :meth:`step` calls: the pool is respawned
+        lazily, the published shared-memory segment survives, and the
+        draw-position discipline is untouched — worker count never
+        changes results, only wall-clock.
+        """
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if workers == self.workers:
+            return
+        self.workers = workers
+        if self._parallel is not None:
+            self._parallel.set_workers(workers)
+
     def _shard_result(self) -> FleetStudyResult:
         return FleetStudyResult(
             population_total=self.population.total,

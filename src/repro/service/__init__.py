@@ -8,6 +8,9 @@ Layering, bottom-up:
   journaled admission, bounded queues, rolling
   :class:`~repro.resilience.campaign.ResilientCampaign` shards on a
   worker pool, journal replay + checkpoint resume on restart.
+* :mod:`~repro.service.governor` — daemon-wide core arbitration for
+  multi-process job execution, verdict retention policies, and the
+  adaptive Retry-After latency window.
 * :mod:`~repro.service.api` — the hand-rolled HTTP/1.1 surface
   (``/submit``, ``/verdicts/<job>``, ``/healthz``, ``/readyz``,
   ``/metrics``).
@@ -20,6 +23,12 @@ Layering, bottom-up:
 
 from .chaos import HOOK_POINTS, ServiceChaos, parse_chaos_spec
 from .client import Rejected, ServiceClient, read_endpoint
+from .governor import (
+    CoreGovernor,
+    RetentionPolicy,
+    ShardLatencyWindow,
+    parse_retention,
+)
 from .journal import (
     JournalEntry,
     JournalWriter,
@@ -31,6 +40,7 @@ from .server import ENDPOINT_FILE, ReproService, ServiceThread
 
 __all__ = [
     "CampaignScheduler",
+    "CoreGovernor",
     "ENDPOINT_FILE",
     "HOOK_POINTS",
     "JobRecord",
@@ -39,10 +49,13 @@ __all__ = [
     "Rejected",
     "ReplayReport",
     "ReproService",
+    "RetentionPolicy",
     "ServiceChaos",
     "ServiceClient",
     "ServiceThread",
+    "ShardLatencyWindow",
     "parse_chaos_spec",
+    "parse_retention",
     "read_endpoint",
     "replay_journal",
 ]

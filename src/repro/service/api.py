@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..errors import AdmissionError, CheckpointError, ConfigurationError
-from .scheduler import JOB_DONE, JOB_FAILED, CampaignScheduler
+from .scheduler import JOB_DONE, JOB_EXPIRED, JOB_FAILED, CampaignScheduler
 
 __all__ = [
     "HttpRequest",
@@ -52,6 +52,7 @@ _REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -310,6 +311,17 @@ class ServiceApi:
                     200,
                     _json_body({
                         "status": JOB_FAILED, "error": record.error,
+                    }),
+                    "application/json", {},
+                )
+            if record.state == JOB_EXPIRED:
+                # The verdict existed and was garbage-collected by the
+                # retention policy; 410 tells the client not to retry.
+                return (
+                    410,
+                    _json_body({
+                        "status": JOB_EXPIRED,
+                        "error": "verdict expired by retention policy",
                     }),
                     "application/json", {},
                 )

@@ -200,6 +200,11 @@ class ServiceClient:
         reply = self._request("GET", f"/verdicts/{job_id}")
         if reply.status == 404:
             raise ServiceError(f"job {job_id} is unknown to the daemon")
+        if reply.status == 410:
+            raise ServiceError(
+                f"verdict for {job_id} was expired by the retention "
+                f"policy; it will not come back"
+            )
         if reply.status != 200:
             raise ServiceError(
                 f"/verdicts/{job_id} answered {reply.status}"

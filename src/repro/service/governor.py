@@ -1,0 +1,277 @@
+"""Daemon-wide core arbitration and verdict-retention policies.
+
+The scheduler runs every admitted job as :meth:`ResilientCampaign.step`
+granules; when a job executes on the parallel engine, the number of
+pool workers it may hold is *leased* from one shared
+:class:`CoreGovernor` rather than chosen per job.  The governor holds
+the daemon's ``--core-budget`` and re-arbitrates at every shard
+boundary, so
+
+* small jobs (remaining work under one ``granule``) stay in-process
+  vectorized (a one-core lease never builds a pool);
+* large jobs get workers proportional to their *remaining* fleet size,
+  never more than they can use;
+* a job that drains, degrades, or finishes returns its cores to the
+  pot immediately and the next arbitration hands them to whoever still
+  has demand.
+
+Arbitration is deterministic (pure function of the registered demands,
+ties broken by job id), so a test can predict every lease exactly.
+
+:func:`parse_retention` parses the ``--retain-verdicts`` grammar shared
+by the CLI and :class:`~repro.service.server.ReproService`, and
+:class:`ShardLatencyWindow` turns observed shard latencies into the
+adaptive ``Retry-After`` hint served on 429/503.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "CoreGovernor",
+    "RetentionPolicy",
+    "ShardLatencyWindow",
+    "parse_retention",
+]
+
+#: Faulty CPUs of remaining work that justify one additional core.
+#: Below one granule the parallel engine's sub-shard split would not
+#: produce enough shards to overlap lowering and replay anyway.
+DEFAULT_GRANULE = 64
+
+
+class CoreGovernor:
+    """Arbitrates a fixed core budget across concurrently active jobs.
+
+    Thread-safe: scheduler worker threads call :meth:`lease` from their
+    pump loops while the asyncio side registers and releases jobs.
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        *,
+        granule: int = DEFAULT_GRANULE,
+        job_cap: Optional[int] = None,
+        obs=None,
+    ):
+        if budget < 1:
+            raise ConfigurationError("core budget must be >= 1")
+        if granule < 1:
+            raise ConfigurationError("parallel granule must be >= 1")
+        if job_cap is not None and job_cap < 1:
+            raise ConfigurationError("job worker cap must be >= 1")
+        self.budget = budget
+        self.granule = granule
+        self.job_cap = job_cap if job_cap is not None else budget
+        self.obs = obs
+        self._lock = threading.Lock()
+        #: job id -> current demand (cores the job could productively use)
+        self._demand: Dict[str, int] = {}
+        #: job id -> client workers cap from the submission, if any
+        self._hints: Dict[str, Optional[int]] = {}
+        if self.obs is not None:
+            self.obs.set_gauge("repro_service_core_budget", budget)
+            self.obs.set_gauge("repro_service_cores_leased", 0)
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, job_id: str, *, hint: Optional[int] = None) -> None:
+        """Make ``job_id`` eligible for leases.
+
+        ``hint`` is the client's ``workers`` cap from the submission
+        (already validated); the job never leases more than it.
+        """
+        with self._lock:
+            self._demand[job_id] = 0
+            self._hints[job_id] = hint
+
+    def release(self, job_id: str) -> None:
+        """Return the job's cores to the pot (idempotent)."""
+        with self._lock:
+            self._demand.pop(job_id, None)
+            self._hints.pop(job_id, None)
+            self._publish_locked()
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return len(self._demand)
+
+    # -- arbitration ---------------------------------------------------------
+
+    def _cap_for(self, job_id: str) -> int:
+        cap = min(self.budget, self.job_cap)
+        hint = self._hints.get(job_id)
+        if hint is not None:
+            cap = min(cap, hint)
+        return max(1, cap)
+
+    def _demand_for(self, job_id: str, remaining: int) -> int:
+        if remaining <= self.granule:
+            return 1
+        return min(
+            self._cap_for(job_id),
+            math.ceil(remaining / self.granule),
+        )
+
+    def _arbitrate_locked(self) -> Dict[str, int]:
+        """Deterministic proportional split of the budget.
+
+        Every active job is guaranteed one core (its in-process
+        thread); the rest of the budget is dealt one core at a time to
+        the job with the largest unmet demand, ties broken by job id,
+        so the outcome is a pure function of the demand table.
+        """
+        jobs = sorted(self._demand)
+        grants = {job_id: 1 for job_id in jobs}
+        spare = self.budget - len(jobs)
+        while spare > 0:
+            best = None
+            best_unmet = 0
+            for job_id in jobs:
+                unmet = self._demand[job_id] - grants[job_id]
+                if unmet > best_unmet:
+                    best, best_unmet = job_id, unmet
+            if best is None:
+                break
+            grants[best] += 1
+            spare -= 1
+        return grants
+
+    def lease(self, job_id: str, remaining: int) -> int:
+        """Current worker target for ``job_id`` given its remaining work.
+
+        Updates the job's demand and re-arbitrates; called at every
+        shard boundary, so a draining job's shrinking ``remaining``
+        frees cores for its neighbours within one shard.
+        """
+        with self._lock:
+            if job_id not in self._demand:
+                return 1
+            self._demand[job_id] = self._demand_for(job_id, remaining)
+            grants = self._arbitrate_locked()
+            self._publish_locked(grants)
+            return grants.get(job_id, 1)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current grants table (for status endpoints and tests)."""
+        with self._lock:
+            if not self._demand:
+                return {}
+            return self._arbitrate_locked()
+
+    def _publish_locked(self, grants: Optional[Dict[str, int]] = None) -> None:
+        if self.obs is None:
+            return
+        if grants is None:
+            grants = self._arbitrate_locked() if self._demand else {}
+        leased = sum(
+            min(grant, max(1, self._demand.get(job_id, 1)))
+            for job_id, grant in grants.items()
+        )
+        self.obs.set_gauge("repro_service_cores_leased", leased)
+
+
+# -- verdict retention -------------------------------------------------------
+
+_AGE_RE = re.compile(r"^(\d+)([smhd])$")
+_AGE_UNIT_S = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Parsed ``--retain-verdicts`` value.
+
+    ``kind`` is ``"count"`` (keep the newest N verdicts) or ``"age"``
+    (keep verdicts younger than ``value`` seconds).
+    """
+
+    kind: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("count", "age"):
+            raise ConfigurationError(
+                f"retention kind must be count|age, got {self.kind!r}"
+            )
+        if self.value <= 0:
+            raise ConfigurationError("retention value must be positive")
+
+
+def parse_retention(text) -> Optional[RetentionPolicy]:
+    """Parse ``--retain-verdicts``: ``N`` verdicts or ``30m``/``24h``/``7d``.
+
+    ``None``/empty means retain forever (the default).  Already-parsed
+    policies pass through, so callers can hand either form around.
+    """
+    if text is None or isinstance(text, RetentionPolicy):
+        return text
+    if isinstance(text, int):
+        return RetentionPolicy("count", text)
+    text = str(text).strip()
+    if not text:
+        return None
+    if text.isdigit():
+        return RetentionPolicy("count", int(text))
+    match = _AGE_RE.match(text)
+    if match:
+        return RetentionPolicy(
+            "age", int(match.group(1)) * _AGE_UNIT_S[match.group(2)]
+        )
+    raise ConfigurationError(
+        f"--retain-verdicts must be a count or <N>[smhd] age, got {text!r}"
+    )
+
+
+# -- adaptive Retry-After ----------------------------------------------------
+
+
+class ShardLatencyWindow:
+    """Rolling window of observed shard latencies -> back-off hint.
+
+    The 429 ``Retry-After`` answer should reflect how fast the daemon
+    is actually clearing work: a saturated queue of heavy jobs deserves
+    a longer hint than one of ten-millisecond smoke jobs.  The hint is
+    the window's median shard latency scaled by the number of in-flight
+    jobs, clamped to ``[floor_s, cap_s]`` so an idle or brand-new
+    daemon still answers something sane.
+    """
+
+    def __init__(
+        self, *, floor_s: float = 1.0, cap_s: float = 60.0, size: int = 64
+    ):
+        if floor_s <= 0 or cap_s < floor_s:
+            raise ConfigurationError(
+                "retry-after window needs 0 < floor_s <= cap_s"
+            )
+        self.floor_s = floor_s
+        self.cap_s = cap_s
+        self.size = size
+        self._lock = threading.Lock()
+        self._samples: list = []
+        self._next = 0
+
+    def record(self, latency_s: float) -> None:
+        with self._lock:
+            if len(self._samples) < self.size:
+                self._samples.append(latency_s)
+            else:
+                self._samples[self._next] = latency_s
+                self._next = (self._next + 1) % self.size
+
+    def hint(self, in_flight: int) -> float:
+        """Suggested client back-off given ``in_flight`` queued+active jobs."""
+        with self._lock:
+            if not self._samples:
+                return self.floor_s
+            ordered = sorted(self._samples)
+            median = ordered[len(ordered) // 2]
+        return min(self.cap_s, max(self.floor_s, median * max(1, in_flight)))

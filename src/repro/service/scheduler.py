@@ -23,10 +23,14 @@ State directory layout::
     <state-dir>/jobs/<job-id>/verdict.json   CRC-checked verdict
     <state-dir>/endpoint.json                host/port/pid discovery
 
-Shards run on a small thread pool (NumPy releases the GIL for the hot
-kernels); the asyncio side never blocks on campaign work, and the
-drain path stops the pool **between** shards, checkpoints, and leaves
-the rest to the next incarnation.
+Shard threads drive the campaign granules, but the heavy lifting is
+multi-core: jobs that did not pin an engine run on the parallel engine,
+their fleet published once over shared memory to a persistent process
+pool, with the daemon-wide :class:`~repro.service.governor.CoreGovernor`
+re-arbitrating each job's worker lease at every shard boundary.  The
+asyncio side never blocks on campaign work, and the drain path stops
+the pool **between** shards, checkpoints, and leaves the rest to the
+next incarnation.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import re
+import shutil
 import threading
 import time
 from dataclasses import dataclass, field
@@ -48,6 +53,7 @@ from ..errors import (
     ReproError,
 )
 from ..obs.context import span
+from ..perf.parallel import default_workers
 from ..resilience.campaign import CampaignSpec, ResilientCampaign
 from ..resilience.chaos import ChaosInjector, InjectedKillError
 from ..resilience.checkpoint import (
@@ -57,6 +63,7 @@ from ..resilience.checkpoint import (
 )
 from ..testing.library import TestcaseLibrary
 from .chaos import ServiceChaos
+from .governor import CoreGovernor, ShardLatencyWindow, parse_retention
 from .journal import JournalWriter, ReplayReport, replay_journal
 
 __all__ = [
@@ -70,7 +77,8 @@ JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
-JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+JOB_EXPIRED = "expired"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED, JOB_EXPIRED)
 
 VERDICT_FILE = "verdict.json"
 
@@ -78,7 +86,7 @@ _JOB_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _AUTO_ID_RE = re.compile(r"^job-(\d{6,})$")
 
 #: Spec keys a submission may carry besides the CampaignSpec fields.
-_SUBMIT_EXTRAS = ("job_id", "chaos")
+_SUBMIT_EXTRAS = ("job_id", "chaos", "workers")
 
 
 @dataclass
@@ -96,6 +104,20 @@ class JobRecord:
     restarts: int = 0
     recovered: bool = False
     finished_at: Optional[float] = None
+    #: Client ``workers`` cap from the submission (None = governor's call).
+    workers_hint: Optional[int] = None
+    #: True when the client named an engine explicitly; pinned jobs are
+    #: executed exactly as submitted, never promoted to the pool.
+    engine_pinned: bool = False
+    #: Cores currently leased from the governor (0 while not running).
+    workers_leased: int = 0
+    #: Sticky: this job's process pool broke; it runs in-process now.
+    pool_degraded: bool = False
+    #: Journal seq of the verdict entry (retention orders by this).
+    verdict_seq: int = 0
+    #: Wall-clock completion time journaled with the verdict, so age
+    #: retention survives restarts (monotonic clocks do not).
+    finished_unix: Optional[float] = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def status_dict(self) -> Dict[str, object]:
@@ -108,6 +130,8 @@ class JobRecord:
         }
         if self.error is not None:
             doc["error"] = self.error
+        if self.workers_leased:
+            doc["workers"] = self.workers_leased
         return doc
 
 
@@ -139,6 +163,10 @@ class CampaignScheduler:
         max_job_restarts: int = 8,
         job_timeout_s: Optional[float] = None,
         retry_after_s: float = 1.0,
+        core_budget: Optional[int] = None,
+        job_workers: Optional[int] = None,
+        parallel_granule: int = 64,
+        retain_verdicts=None,
         obs=None,
         chaos: Optional[ServiceChaos] = None,
     ):
@@ -154,8 +182,24 @@ class CampaignScheduler:
         self.max_job_restarts = max_job_restarts
         self.job_timeout_s = job_timeout_s
         self.retry_after_s = retry_after_s
+        self.core_budget = (
+            core_budget if core_budget is not None else default_workers()
+        )
+        self.governor = CoreGovernor(
+            self.core_budget,
+            granule=parallel_granule,
+            job_cap=job_workers,
+            obs=obs,
+        )
+        self.retention = parse_retention(retain_verdicts)
+        self._latency = ShardLatencyWindow(
+            floor_s=retry_after_s, cap_s=max(60.0, retry_after_s)
+        )
         self.obs = obs
         self.chaos = chaos
+        self._running: Dict[str, ResilientCampaign] = {}
+        self._running_lock = threading.Lock()
+        self._gc_lock = threading.Lock()
         self.jobs: Dict[str, JobRecord] = {}
         self.replay_report = ReplayReport()
         self._order: List[str] = []  # submission order, for recovery
@@ -213,6 +257,14 @@ class CampaignScheduler:
                         ).items()
                     }
                     record.chaos_seed = int(chaos.get("seed", 0))
+                exec_hints = entry.data.get("exec")
+                if isinstance(exec_hints, dict):
+                    workers = exec_hints.get("workers")
+                    if isinstance(workers, int) and workers >= 1:
+                        record.workers_hint = workers
+                    record.engine_pinned = bool(
+                        exec_hints.get("engine_pinned", False)
+                    )
                 self.jobs[job_id] = record
                 self._order.append(job_id)
                 match = _AUTO_ID_RE.match(job_id)
@@ -223,11 +275,21 @@ class CampaignScheduler:
             elif entry.kind == "start" and job_id in self.jobs:
                 self.jobs[job_id].state = JOB_RUNNING
             elif entry.kind == "verdict" and job_id in self.jobs:
-                self.jobs[job_id].state = JOB_DONE
+                record = self.jobs[job_id]
+                record.state = JOB_DONE
+                record.verdict_seq = entry.seq
+                finished = entry.data.get("finished_unix")
+                if isinstance(finished, (int, float)):
+                    record.finished_unix = float(finished)
             elif entry.kind == "failed" and job_id in self.jobs:
                 record = self.jobs[job_id]
                 record.state = JOB_FAILED
                 record.error = str(entry.data.get("error", "unknown"))
+            elif entry.kind == "gc" and job_id in self.jobs:
+                # A journaled GC is final: replay never resurrects the
+                # verdict, even though the submit/verdict entries that
+                # precede it are still in the log.
+                self.jobs[job_id].state = JOB_EXPIRED
         # A journaled verdict is only as good as the verdict file it
         # points at; a crash between journal append and file landing is
         # impossible (the file is written first), but bit rot is not.
@@ -246,6 +308,10 @@ class CampaignScheduler:
                 # Interrupted mid-campaign: re-queue; its checkpoint
                 # store carries the resume point.
                 record.state = JOB_QUEUED
+            elif record.state == JOB_EXPIRED:
+                # Finish a deletion the previous incarnation journaled
+                # but did not complete before dying (idempotent).
+                shutil.rmtree(self._job_dir(job_id), ignore_errors=True)
         self._journal = JournalWriter(
             journal_dir,
             start_seq=max_seq + 1,
@@ -259,6 +325,10 @@ class CampaignScheduler:
                 self.obs.inc(
                     "repro_service_journal_appends_total", kind="salvaged"
                 )
+        # Age-based retention is time-triggered, so apply it on boot
+        # too: verdicts that crossed the line while the daemon was down
+        # expire before the API binds.
+        self._gc_verdicts()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -330,6 +400,17 @@ class CampaignScheduler:
         self.obs.set_gauge("repro_service_queue_depth", depth)
         self.obs.set_gauge("repro_service_active_jobs", self._active)
 
+    def _retry_after_hint(self) -> float:
+        """Adaptive back-off: median shard latency x in-flight depth.
+
+        Before any shard has landed this is the configured floor, so a
+        fresh daemon answers the same fixed hint it always did.
+        """
+        depth = (
+            self._queue.qsize() if self._queue is not None else 0
+        ) + self._active
+        return self._latency.hint(depth)
+
     def _journal_append(self, kind: str, job_id: str, **data) -> int:
         with self._journal_lock:
             if self._journal is None:
@@ -378,7 +459,26 @@ class CampaignScheduler:
                 raise ConfigurationError(
                     "chaos must be {'schedule': {shard: [kinds]}, 'seed': n}"
                 )
-        return {"spec": spec, "job_id": job_id, "chaos": chaos}
+        workers = body.get("workers")
+        if workers is not None:
+            if isinstance(workers, bool) or not isinstance(workers, int):
+                raise ConfigurationError("workers must be an integer")
+            if workers < 1:
+                raise ConfigurationError("workers must be >= 1")
+            # Capped, not rejected: the budget is a deployment detail a
+            # client cannot know, so an over-ask degrades gracefully.
+            workers = min(workers, self.core_budget)
+        return {
+            "spec": spec,
+            "job_id": job_id,
+            "chaos": chaos,
+            "workers": workers,
+            # An explicit engine is a pin: the job runs exactly as
+            # submitted.  Anything else is an execution detail the
+            # daemon may promote to the process pool (identical output
+            # by the engines' parity contract).
+            "engine_pinned": "engine" in body,
+        }
 
     async def submit(self, body: Dict[str, object]) -> JobRecord:
         """Admit one job: validate, journal (fsync), queue, return.
@@ -391,7 +491,7 @@ class CampaignScheduler:
             raise AdmissionError(
                 "daemon is draining; resubmit to the next incarnation",
                 status=503,
-                retry_after_s=self.retry_after_s,
+                retry_after_s=self._retry_after_hint(),
             )
         normalized = self.parse_submission(body)
         depth = self._queue.qsize() + self._active
@@ -402,7 +502,7 @@ class CampaignScheduler:
                 f"admission queue is full ({depth} in flight, "
                 f"max {self.max_queue})",
                 status=429,
-                retry_after_s=self.retry_after_s,
+                retry_after_s=self._retry_after_hint(),
             )
         with self._id_lock:
             job_id = normalized["job_id"]
@@ -413,7 +513,12 @@ class CampaignScheduler:
                 raise AdmissionError(
                     f"job id {job_id!r} already exists", status=409
                 )
-            record = JobRecord(job_id=job_id, spec=normalized["spec"])
+            record = JobRecord(
+                job_id=job_id,
+                spec=normalized["spec"],
+                workers_hint=normalized["workers"],
+                engine_pinned=normalized["engine_pinned"],
+            )
             chaos = normalized["chaos"]
             if chaos is not None:
                 record.chaos_schedule = {
@@ -437,6 +542,14 @@ class CampaignScheduler:
                     for shard, kinds in record.chaos_schedule.items()
                 },
                 "seed": record.chaos_seed,
+            }
+        if record.workers_hint is not None or record.engine_pinned:
+            # Execution hints ride the journal so a restarted daemon
+            # honours them; they never touch the campaign spec (and so
+            # never perturb checkpoints or verdict payloads).
+            journal_data["exec"] = {
+                "workers": record.workers_hint,
+                "engine_pinned": record.engine_pinned,
             }
         try:
             record.submitted_seq = await asyncio.get_running_loop(
@@ -484,6 +597,67 @@ class CampaignScheduler:
             return None
         return read_checkpoint(self._verdict_path(job_id))
 
+    def worker_pids(self) -> List[int]:
+        """Live pool-worker PIDs across every running campaign.
+
+        Empty while no job is on the parallel path; the chaos suite
+        uses this to aim a SIGKILL at a worker *process* mid-shard.
+        """
+        with self._running_lock:
+            campaigns = list(self._running.values())
+        pids = set()
+        for campaign in campaigns:
+            pids.update(campaign.worker_pids())
+        return sorted(pids)
+
+    # -- retention -----------------------------------------------------------
+
+    def _gc_verdicts(self) -> None:
+        """Apply the retention policy to finished verdicts.
+
+        Journal-first discipline: the ``gc`` entry is fsynced before
+        the job directory is deleted, so a crash at any point leaves
+        either a still-served verdict or a journaled expiry that replay
+        honours — never a resurrected ghost.  Runs after every finish
+        and once at boot (age policies are time-triggered).
+        """
+        if self.retention is None or self._journal is None:
+            return
+        with self._gc_lock:
+            done = [
+                self.jobs[job_id]
+                for job_id in self._order
+                if self.jobs[job_id].state == JOB_DONE
+            ]
+            # Completion order, stable across restarts: the journal seq
+            # of each verdict entry.
+            done.sort(key=lambda record: record.verdict_seq)
+            if self.retention.kind == "count":
+                keep = int(self.retention.value)
+                victims = done[: max(0, len(done) - keep)]
+            else:
+                now = time.time()
+                victims = [
+                    record
+                    for record in done
+                    if record.finished_unix is not None
+                    and now - record.finished_unix > self.retention.value
+                ]
+            for record in victims:
+                self._expire(record)
+
+    def _expire(self, record: JobRecord) -> None:
+        self._journal_append(
+            "gc",
+            record.job_id,
+            verdict_seq=record.verdict_seq,
+            policy=self.retention.kind,
+        )
+        shutil.rmtree(self._job_dir(record.job_id), ignore_errors=True)
+        record.state = JOB_EXPIRED
+        if self.obs is not None:
+            self.obs.inc("repro_service_jobs_total", event="expired")
+
     # -- execution -----------------------------------------------------------
 
     async def _worker(self) -> None:
@@ -503,22 +677,78 @@ class CampaignScheduler:
                 self._active -= 1
                 self._update_gauges()
 
+    def _promoted(self, record: JobRecord) -> bool:
+        """Whether this job executes on the process pool.
+
+        Only jobs that did *not* pin an engine are promoted; engine
+        choice never changes verdict bits (the parity contract every
+        engine upholds), so promotion is purely an execution detail —
+        the submitted spec, its checkpoints, and the verdict payload
+        are untouched.
+        """
+        return not record.engine_pinned and self.core_budget > 1
+
+    def _population_for(self, record: JobRecord):
+        """Build the job's population, frame-backed for pool jobs.
+
+        A frame-backed population carries its struct-of-arrays columns,
+        which is what lets the parallel engine publish the fleet once
+        over shared memory instead of pickling it into every worker.
+        Generation parity is exact either way (PR 6's contract), so the
+        verdict does not depend on which path is taken.
+        """
+        spec = record.spec
+        if spec.max_resident_cpus > 0 or not self._promoted(record):
+            return spec.build_population(self.obs)
+        from ..fleet.frame import generate_fleet_frame
+        from ..fleet.population import FleetSpec
+
+        return generate_fleet_frame(
+            FleetSpec(
+                total_processors=spec.total_processors,
+                seed=spec.fleet_seed,
+                failure_rate_scale=spec.failure_rate_scale,
+                escape_fraction=spec.escape_fraction,
+            ),
+            window=max(spec.shard_size, 256),
+            obs=self.obs,
+        )
+
     def _campaign_for(
         self, record: JobRecord, store: CheckpointStore,
         chaos: Optional[ChaosInjector],
     ) -> ResilientCampaign:
+        overrides: Dict[str, object] = {}
+        if self._promoted(record):
+            # Workers start at 1; the pump loop leases the real count
+            # from the governor before the first shard runs.  At one
+            # worker the parallel engine routes through the in-process
+            # vectorized path without ever building a pool, so small
+            # jobs pay nothing for the promotion.
+            overrides = {"engine": "parallel", "workers": 1}
+        elif record.workers_hint is not None:
+            # A pinned-parallel job still honours its (budget-capped)
+            # workers ask; pinned serial engines ignore it.
+            overrides = {"workers": record.workers_hint}
         if store.load_latest() is not None:
             return ResilientCampaign.resume(
                 store,
                 self.library,
+                population=self._population_for(record),
                 spec=record.spec,
                 chaos=chaos,
                 checkpoint_every=self.checkpoint_every,
                 obs=self.obs,
+                **overrides,
             )
-        return ResilientCampaign.from_spec(
-            record.spec,
+        return ResilientCampaign(
+            self._population_for(record),
             self.library,
+            spec=record.spec,
+            seed=record.spec.pipeline_seed,
+            engine=str(overrides.get("engine", record.spec.engine)),
+            shard_size=record.spec.shard_size,
+            workers=overrides.get("workers"),  # type: ignore[arg-type]
             checkpoint_store=store,
             chaos=chaos,
             checkpoint_every=self.checkpoint_every,
@@ -549,30 +779,39 @@ class CampaignScheduler:
             if self.job_timeout_s is not None
             else None
         )
-        with span(self.obs, "service.job", job=record.job_id):
-            while True:  # in-daemon supervisor loop (injected kills)
-                campaign = self._campaign_for(record, store, chaos_inj)
-                try:
-                    suspended = self._pump(campaign, record, deadline)
-                    if suspended:
-                        # Drain: state stays journaled as running; the
-                        # next incarnation re-queues and resumes.
+        self.governor.register(record.job_id, hint=record.workers_hint)
+        try:
+            with span(self.obs, "service.job", job=record.job_id):
+                while True:  # in-daemon supervisor loop (injected kills)
+                    campaign = self._campaign_for(record, store, chaos_inj)
+                    with self._running_lock:
+                        self._running[record.job_id] = campaign
+                    try:
+                        suspended = self._pump(campaign, record, deadline)
+                        if suspended:
+                            # Drain: state stays journaled as running;
+                            # the next incarnation re-queues and resumes.
+                            return
+                        self._finish(record, campaign)
                         return
-                    self._finish(record, campaign)
-                    return
-                except InjectedKillError as error:
-                    record.restarts += 1
-                    if record.restarts > self.max_job_restarts:
-                        self._fail(
-                            record,
-                            f"killed {record.restarts} times: {error}",
-                        )
+                    except InjectedKillError as error:
+                        record.restarts += 1
+                        if record.restarts > self.max_job_restarts:
+                            self._fail(
+                                record,
+                                f"killed {record.restarts} times: {error}",
+                            )
+                            return
+                    except (CampaignAbortedError, ReproError) as error:
+                        self._fail(record, str(error))
                         return
-                except (CampaignAbortedError, ReproError) as error:
-                    self._fail(record, str(error))
-                    return
-                finally:
-                    campaign.close()
+                    finally:
+                        with self._running_lock:
+                            self._running.pop(record.job_id, None)
+                        campaign.close()
+        finally:
+            self.governor.release(record.job_id)
+            record.workers_leased = 0
 
     def _pump(
         self,
@@ -580,7 +819,14 @@ class CampaignScheduler:
         record: JobRecord,
         deadline: Optional[float],
     ) -> bool:
-        """Step the campaign until done; True means drain-suspended."""
+        """Step the campaign until done; True means drain-suspended.
+
+        On the parallel path, every iteration re-leases the job's
+        worker count from the governor before stepping — the shard
+        boundary *is* the re-arbitration point, so a shrinking job
+        hands cores back while its neighbours are still mid-flight.
+        """
+        parallel = campaign.engine == "parallel"
         while True:
             if self._stop_event.is_set():
                 campaign.checkpoint_now()
@@ -590,7 +836,38 @@ class CampaignScheduler:
                     f"job exceeded its {self.job_timeout_s:.0f}s budget "
                     f"at cursor {campaign.cursor}"
                 )
+            if parallel:
+                if campaign.parallel_degraded and not record.pool_degraded:
+                    # The pool broke (worker killed, fork failure); the
+                    # engine already reran the shard in-process with
+                    # identical output.  Stickily stop leasing: a fresh
+                    # pool for a job that just lost one helps nobody.
+                    record.pool_degraded = True
+                    self.governor.release(record.job_id)
+                    if self.obs is not None:
+                        self.obs.inc(
+                            "repro_service_jobs_total",
+                            event="pool_degraded",
+                        )
+                if record.pool_degraded:
+                    # One worker routes every later range through the
+                    # in-process vectorized engine; the retired pool is
+                    # released rather than consulted (and re-tripped)
+                    # on each remaining shard.
+                    campaign.set_workers(1)
+                    record.workers_leased = 1
+                else:
+                    target = self.governor.lease(
+                        record.job_id, campaign.remaining
+                    )
+                    campaign.set_workers(target)
+                    record.workers_leased = target
+            started = time.monotonic()
             more = campaign.step()
+            elapsed = time.monotonic() - started
+            self._latency.record(elapsed)
+            if self.obs is not None:
+                self.obs.observe("repro_service_shard_seconds", elapsed)
             if self.chaos is not None:
                 self.chaos.fire("shard_done")
             if not more:
@@ -610,16 +887,20 @@ class CampaignScheduler:
         # a crash between the two re-runs the (deterministic) job, it
         # never serves a verdict that does not exist.
         write_checkpoint(self._verdict_path(record.job_id), payload)
-        self._journal_append(
+        finished_unix = time.time()
+        record.verdict_seq = self._journal_append(
             "verdict",
             record.job_id,
             detections=len(campaign.result.detections),
             undetected=len(campaign.result.undetected_ids),
+            finished_unix=finished_unix,
         )
         record.state = JOB_DONE
         record.finished_at = time.monotonic()
+        record.finished_unix = finished_unix
         if self.obs is not None:
             self.obs.inc("repro_service_jobs_total", event="completed")
+        self._gc_verdicts()
 
     def _fail(self, record: JobRecord, error: str) -> None:
         record.error = error

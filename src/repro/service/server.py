@@ -68,6 +68,10 @@ class ReproService:
         request_timeout_s: float = 10.0,
         max_body_bytes: int = 1 << 20,
         retry_after_s: float = 1.0,
+        core_budget: Optional[int] = None,
+        job_workers: Optional[int] = None,
+        parallel_granule: int = 64,
+        retain_verdicts=None,
     ):
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -85,6 +89,10 @@ class ReproService:
             checkpoint_every=checkpoint_every,
             job_timeout_s=job_timeout_s,
             retry_after_s=retry_after_s,
+            core_budget=core_budget,
+            job_workers=job_workers,
+            parallel_granule=parallel_granule,
+            retain_verdicts=retain_verdicts,
             obs=self.obs,
             chaos=chaos,
         )

@@ -1,0 +1,183 @@
+"""Core governor arbitration, retention parsing, latency window."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Observability
+from repro.service.governor import (
+    CoreGovernor,
+    RetentionPolicy,
+    ShardLatencyWindow,
+    parse_retention,
+)
+
+
+class TestCoreGovernor:
+    def test_validates_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CoreGovernor(0)
+        with pytest.raises(ConfigurationError):
+            CoreGovernor(4, granule=0)
+        with pytest.raises(ConfigurationError):
+            CoreGovernor(4, job_cap=0)
+
+    def test_single_job_gets_whole_budget_when_demand_is_high(self):
+        governor = CoreGovernor(4, granule=64)
+        governor.register("job-a")
+        assert governor.lease("job-a", remaining=10_000) == 4
+
+    def test_small_job_stays_on_one_core(self):
+        governor = CoreGovernor(8, granule=64)
+        governor.register("job-a")
+        # Remaining work below one granule: no pool is worth building.
+        assert governor.lease("job-a", remaining=64) == 1
+        assert governor.lease("job-a", remaining=1) == 1
+
+    def test_demand_is_proportional_to_remaining(self):
+        governor = CoreGovernor(16, granule=64)
+        governor.register("job-a")
+        assert governor.lease("job-a", remaining=129) == 3
+        assert governor.lease("job-a", remaining=128) == 2
+        assert governor.lease("job-a", remaining=65) == 2
+
+    def test_budget_split_across_competing_jobs(self):
+        governor = CoreGovernor(4, granule=64)
+        governor.register("job-a")
+        governor.register("job-b")
+        # Both want everything; each is guaranteed 1, the spare 2 cores
+        # go one at a time to the largest unmet demand (ties by id).
+        # The first round seeds both demands; the second is the stable
+        # arbitration the scheduler converges to at shard boundaries.
+        governor.lease("job-a", remaining=10_000)
+        governor.lease("job-b", remaining=10_000)
+        assert governor.lease("job-a", remaining=10_000) == 2
+        assert governor.lease("job-b", remaining=10_000) == 2
+
+    def test_draining_job_returns_cores(self):
+        governor = CoreGovernor(4, granule=64)
+        governor.register("job-a")
+        governor.register("job-b")
+        governor.lease("job-a", remaining=10_000)
+        governor.lease("job-b", remaining=10_000)
+        # job-a drains to sub-granule remainder: its demand collapses
+        # and job-b's next lease picks up the freed cores.
+        assert governor.lease("job-a", remaining=32) == 1
+        assert governor.lease("job-b", remaining=10_000) == 3
+
+    def test_release_frees_cores_immediately(self):
+        governor = CoreGovernor(4, granule=64)
+        governor.register("job-a")
+        governor.register("job-b")
+        governor.lease("job-a", remaining=10_000)
+        governor.release("job-a")
+        assert governor.lease("job-b", remaining=10_000) == 4
+        assert governor.active == 1
+
+    def test_released_job_leases_one(self):
+        governor = CoreGovernor(4)
+        governor.register("job-a")
+        governor.release("job-a")
+        # A job no longer registered (degraded/finished) is never told
+        # to build a pool.
+        assert governor.lease("job-a", remaining=10_000) == 1
+
+    def test_client_hint_caps_the_lease(self):
+        governor = CoreGovernor(8, granule=64)
+        governor.register("job-a", hint=2)
+        assert governor.lease("job-a", remaining=10_000) == 2
+
+    def test_job_cap_bounds_every_job(self):
+        governor = CoreGovernor(8, granule=64, job_cap=3)
+        governor.register("job-a")
+        assert governor.lease("job-a", remaining=10_000) == 3
+
+    def test_arbitration_is_deterministic(self):
+        outcomes = []
+        for _ in range(3):
+            governor = CoreGovernor(5, granule=64)
+            governor.register("job-a")
+            governor.register("job-b")
+            governor.register("job-c")
+            governor.lease("job-a", remaining=600)
+            governor.lease("job-b", remaining=200)
+            governor.lease("job-c", remaining=100)
+            outcomes.append(tuple(sorted(governor.snapshot().items())))
+        assert len(set(outcomes)) == 1
+
+    def test_gauges_published(self):
+        obs = Observability()
+        governor = CoreGovernor(4, granule=64, obs=obs)
+        governor.register("job-a")
+        governor.lease("job-a", remaining=10_000)
+        text = obs.metrics.to_prometheus_text()
+        assert "repro_service_core_budget" in text
+        assert "repro_service_cores_leased" in text
+        obs.close()
+
+
+class TestParseRetention:
+    def test_none_and_empty_mean_forever(self):
+        assert parse_retention(None) is None
+        assert parse_retention("") is None
+
+    def test_count(self):
+        policy = parse_retention("100")
+        assert policy == RetentionPolicy("count", 100)
+        assert parse_retention(7) == RetentionPolicy("count", 7)
+
+    def test_ages(self):
+        assert parse_retention("45s").value == 45.0
+        assert parse_retention("30m").value == 1800.0
+        assert parse_retention("24h").value == 86400.0
+        assert parse_retention("7d").value == 7 * 86400.0
+        assert parse_retention("7d").kind == "age"
+
+    def test_passthrough(self):
+        policy = RetentionPolicy("age", 60.0)
+        assert parse_retention(policy) is policy
+
+    @pytest.mark.parametrize("bad", ["nope", "-1", "3w", "0", "1.5h"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_retention(bad)
+
+    def test_policy_validates(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy("weird", 1)
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy("count", 0)
+
+
+class TestShardLatencyWindow:
+    def test_floor_before_any_sample(self):
+        window = ShardLatencyWindow(floor_s=2.0, cap_s=60.0)
+        assert window.hint(in_flight=10) == 2.0
+
+    def test_median_scales_with_depth(self):
+        window = ShardLatencyWindow(floor_s=0.5, cap_s=60.0)
+        for latency in (1.0, 2.0, 3.0):
+            window.record(latency)
+        assert window.hint(in_flight=1) == 2.0
+        assert window.hint(in_flight=4) == 8.0
+
+    def test_clamped_to_cap_and_floor(self):
+        window = ShardLatencyWindow(floor_s=1.0, cap_s=10.0)
+        window.record(0.001)
+        assert window.hint(in_flight=1) == 1.0
+        window = ShardLatencyWindow(floor_s=1.0, cap_s=10.0)
+        window.record(30.0)
+        assert window.hint(in_flight=5) == 10.0
+
+    def test_rolling_overwrite(self):
+        window = ShardLatencyWindow(floor_s=0.1, cap_s=60.0, size=4)
+        for _ in range(4):
+            window.record(10.0)
+        for _ in range(4):
+            window.record(1.0)
+        assert window.hint(in_flight=1) == 1.0
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            ShardLatencyWindow(floor_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ShardLatencyWindow(floor_s=5.0, cap_s=1.0)

@@ -102,6 +102,42 @@ class TestGate:
         assert run(candidate, committed, dry_run=True) == 0
         assert committed.read_text() == before
 
+    def test_benchmark_name_generalizes_the_gate(self, tmp_path):
+        """--benchmark-name retargets the whole gate at another scaling
+        report (the service bench reuses the promotion machinery)."""
+        candidate = tmp_path / "cand.json"
+        committed = tmp_path / "BENCH_service.json"
+        candidate.write_text(
+            json.dumps(report(8, 0.7, benchmark="bench_perf_service"))
+        )
+        committed.write_text(
+            json.dumps(report(1, 0.1, benchmark="bench_perf_service"))
+        )
+        assert promote_mod.promote(
+            candidate, committed, 4,
+            benchmark_name="bench_perf_service",
+        ) == 0
+        assert json.loads(
+            committed.read_text()
+        )["environment"]["effective_cores"] == 8
+        # The default name rejects the same candidate.
+        assert promote_mod.promote(candidate, committed, 4) == 1
+
+    def test_cli_accepts_benchmark_name(self, tmp_path):
+        candidate = tmp_path / "cand.json"
+        committed = tmp_path / "comm.json"
+        candidate.write_text(
+            json.dumps(report(8, 0.7, benchmark="bench_perf_service"))
+        )
+        committed.write_text(
+            json.dumps(report(1, 0.1, benchmark="bench_perf_service"))
+        )
+        assert promote_mod.main([
+            "--candidate", str(candidate),
+            "--committed", str(committed),
+            "--benchmark-name", "bench_perf_service",
+        ]) == 0
+
     def test_cli_skip_on_this_runner_or_promote(self, tmp_path):
         # End-to-end CLI invocation with defaults pointed at temp files:
         # on any runner this must exit 0 (skip or promote, never crash).

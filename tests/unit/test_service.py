@@ -3,12 +3,17 @@
 Covers the journal's crash contract (torn tails vs corruption), the
 chaos-spec grammar, the scheduler's recovery state machine, and the
 in-process HTTP API end to end — including the acceptance-criteria
-behaviors: verdict parity with a direct campaign run, and a saturated
-admission queue answering 429 with Retry-After while losing nothing.
+behaviors: verdict parity with a direct campaign run, a saturated
+admission queue answering 429 with Retry-After while losing nothing,
+multi-process execution parity (with and without a SIGKILLed pool
+worker), and verdict retention that survives restarts.
 """
 
 import json
+import os
+import signal
 import threading
+import time
 import zlib
 
 import pytest
@@ -32,6 +37,7 @@ from repro.service import (
 from repro.service.journal import _canonical
 from repro.service.scheduler import (
     JOB_DONE,
+    JOB_EXPIRED,
     JOB_FAILED,
     JOB_QUEUED,
     CampaignScheduler,
@@ -45,6 +51,17 @@ SPEC = dict(
     pipeline_seed=5,
     failure_rate_scale=80.0,
     shard_size=8,
+)
+
+#: Heavy enough that the promoted parallel path really builds a pool:
+#: ~173 faulty CPUs in one 256-CPU campaign shard splits into three
+#: 64-CPU sub-shards, so two leased workers engage the process pool.
+HEAVY_SPEC = dict(
+    total_processors=6000,
+    fleet_seed=3,
+    pipeline_seed=5,
+    failure_rate_scale=80.0,
+    shard_size=256,
 )
 
 
@@ -316,7 +333,7 @@ class TestApi:
     def test_jobs_overview(self, service):
         overview = service.jobs()
         assert set(overview["counts"]) == {
-            "queued", "running", "done", "failed",
+            "queued", "running", "done", "failed", "expired",
         }
         assert overview["draining"] is False
 
@@ -401,3 +418,254 @@ class TestGracefulDrain:
         )
         direct.run()
         assert verdict["result"] == direct.result.to_dict()
+
+
+# -- multi-process execution -------------------------------------------------
+
+
+def _direct_result(spec_dict, library):
+    campaign = ResilientCampaign.from_spec(CampaignSpec(**spec_dict), library)
+    campaign.run()
+    return campaign.result.to_dict()
+
+
+class TestWorkersHint:
+    @pytest.fixture()
+    def scheduler(self, tmp_path, library):
+        return CampaignScheduler(tmp_path, library, core_budget=2)
+
+    @pytest.mark.parametrize("bad", ["two", 0, -3, 1.5, True])
+    def test_invalid_workers_rejected(self, scheduler, bad):
+        with pytest.raises(ConfigurationError, match="workers"):
+            scheduler.parse_submission(dict(SPEC, workers=bad))
+
+    def test_workers_capped_by_core_budget(self, scheduler):
+        normalized = scheduler.parse_submission(dict(SPEC, workers=64))
+        assert normalized["workers"] == 2
+
+    def test_workers_hint_passes_through(self, scheduler):
+        normalized = scheduler.parse_submission(dict(SPEC, workers=1))
+        assert normalized["workers"] == 1
+        assert scheduler.parse_submission(dict(SPEC))["workers"] is None
+
+    def test_explicit_engine_is_a_pin(self, scheduler):
+        assert scheduler.parse_submission(dict(SPEC))["engine_pinned"] is False
+        pinned = scheduler.parse_submission(dict(SPEC, engine="vectorized"))
+        assert pinned["engine_pinned"] is True
+
+    def test_hints_survive_recovery(self, tmp_path, library):
+        spec = CampaignSpec(**SPEC).to_dict()
+        with JournalWriter(tmp_path / "journal") as journal:
+            journal.append(
+                "submit", job="hinted", spec=spec,
+                exec={"workers": 3, "engine_pinned": True},
+            )
+            journal.append("submit", job="plain", spec=spec)
+        scheduler = CampaignScheduler(tmp_path, library, core_budget=4)
+        assert scheduler.jobs["hinted"].workers_hint == 3
+        assert scheduler.jobs["hinted"].engine_pinned is True
+        assert scheduler.jobs["plain"].workers_hint is None
+        assert scheduler.jobs["plain"].engine_pinned is False
+
+
+class TestMultiProcessExecution:
+    def test_promoted_job_bit_identical_and_pool_observable(
+        self, tmp_path, library
+    ):
+        """A heavy job promoted to the process pool produces the exact
+        thread-mode verdict, and the workers' metric snapshots land in
+        the daemon's live registry."""
+        with ServiceThread(
+            tmp_path, library=library,
+            core_budget=2, parallel_granule=8, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(HEAVY_SPEC, job_id="heavy"))
+            verdict = client.wait_verdict("heavy", timeout_s=300)
+            metrics = client.metrics_text()
+        assert verdict["result"] == _direct_result(HEAVY_SPEC, library)
+        # Worker-process registries merged into the live /metrics
+        # stream: the parallel task counters only ever increment inside
+        # pool workers.
+        assert "repro_parallel_tasks_total" in metrics
+        assert "repro_service_core_budget" in metrics
+
+    def test_engine_pinned_job_never_builds_a_pool(self, tmp_path, library):
+        with ServiceThread(
+            tmp_path, library=library,
+            core_budget=4, parallel_granule=8, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(
+                dict(HEAVY_SPEC, engine="vectorized", job_id="pinned")
+            )
+            verdict = client.wait_verdict("pinned", timeout_s=300)
+            metrics = client.metrics_text()
+            record = handle.service.scheduler.jobs["pinned"]
+        assert record.engine_pinned is True
+        assert "repro_parallel_tasks_total" not in metrics
+        assert verdict["result"] == _direct_result(HEAVY_SPEC, library)
+
+    def test_workers_hint_of_one_stays_in_process(self, tmp_path, library):
+        with ServiceThread(
+            tmp_path, library=library,
+            core_budget=4, parallel_granule=8, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(HEAVY_SPEC, workers=1, job_id="solo"))
+            verdict = client.wait_verdict("solo", timeout_s=300)
+            metrics = client.metrics_text()
+        assert "repro_parallel_tasks_total" not in metrics
+        assert verdict["result"] == _direct_result(HEAVY_SPEC, library)
+
+    def test_killed_pool_worker_degrades_not_corrupts(
+        self, tmp_path, library
+    ):
+        """SIGKILL a worker *process* mid-shard: the job degrades to
+        the in-process engine with a health event and the verdict stays
+        bit-identical."""
+        big = dict(HEAVY_SPEC, total_processors=20000, shard_size=512)
+        with ServiceThread(
+            tmp_path, library=library,
+            core_budget=2, parallel_granule=8, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(big, job_id="wounded"))
+            scheduler = handle.service.scheduler
+            deadline = time.monotonic() + 60
+            pids = []
+            while time.monotonic() < deadline:
+                pids = scheduler.worker_pids()
+                if pids:
+                    break
+                time.sleep(0.002)
+            assert pids, "pool never came up for the promoted job"
+            os.kill(pids[0], signal.SIGKILL)
+            verdict = client.wait_verdict("wounded", timeout_s=300)
+            record = scheduler.jobs["wounded"]
+        assert verdict["result"] == _direct_result(big, library)
+        assert record.pool_degraded is True
+        kinds = [
+            event["kind"] for event in verdict["health"]["events"]
+        ]
+        assert "degradation" in kinds
+
+
+# -- verdict retention -------------------------------------------------------
+
+
+def _wait_state(client, job_id, state, timeout_s=30.0):
+    """Poll until the job reaches ``state`` (GC runs just after the
+    sibling verdict becomes visible, so expiry trails by a beat)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        record = client.job(job_id)
+        if record is not None and record["state"] == state:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(
+        f"{job_id} never reached {state!r}: {client.job(job_id)}"
+    )
+
+
+class TestRetention:
+    def test_count_policy_expires_oldest_and_survives_restart(
+        self, tmp_path, library
+    ):
+        with ServiceThread(
+            tmp_path, library=library,
+            retain_verdicts="1", checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(SPEC, job_id="old"))
+            client.wait_verdict("old", timeout_s=120)
+            client.submit(dict(SPEC, job_id="new"))
+            client.wait_verdict("new", timeout_s=120)
+            # Finishing "new" pushed "old" over the retention line.
+            _wait_state(client, "old", JOB_EXPIRED)
+            reply = client._request("GET", "/verdicts/old")
+            assert reply.status == 410
+            with pytest.raises(ServiceError, match="expired"):
+                client.verdict("old")
+            assert client.verdict("new") is not None
+            assert not (tmp_path / "jobs" / "old").exists()
+        # Replay honours the journaled gc: the job is expired, not
+        # resurrected, and is never re-run.
+        with ServiceThread(
+            tmp_path, library=library,
+            retain_verdicts="1", checkpoint_every=1,
+        ) as handle2:
+            client = ServiceClient("127.0.0.1", handle2.port)
+            assert client.job("old")["state"] == JOB_EXPIRED
+            assert client._request("GET", "/verdicts/old").status == 410
+            assert client.verdict("new") is not None
+
+    def test_age_policy_expires_on_later_activity(self, tmp_path, library):
+        with ServiceThread(
+            tmp_path, library=library,
+            retain_verdicts="1s", checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(SPEC, job_id="aging"))
+            client.wait_verdict("aging", timeout_s=120)
+            time.sleep(1.2)
+            # Age policies are applied when a verdict lands (and at
+            # boot), so a younger sibling triggers the sweep.
+            client.submit(dict(SPEC, job_id="young"))
+            client.wait_verdict("young", timeout_s=120)
+            _wait_state(client, "aging", JOB_EXPIRED)
+            assert client.verdict("young") is not None
+
+    def test_age_policy_applies_at_boot(self, tmp_path, library):
+        with ServiceThread(
+            tmp_path, library=library, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(SPEC, job_id="stale"))
+            client.wait_verdict("stale", timeout_s=120)
+        time.sleep(1.2)
+        with ServiceThread(
+            tmp_path, library=library,
+            retain_verdicts="1s", checkpoint_every=1,
+        ) as handle2:
+            client = ServiceClient("127.0.0.1", handle2.port)
+            assert client.job("stale")["state"] == JOB_EXPIRED
+
+    def test_no_policy_keeps_everything(self, tmp_path, library):
+        with ServiceThread(
+            tmp_path, library=library, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            for index in range(3):
+                client.submit(dict(SPEC, job_id=f"keep-{index}"))
+            for index in range(3):
+                client.wait_verdict(f"keep-{index}", timeout_s=120)
+                assert client.verdict(f"keep-{index}") is not None
+
+
+# -- adaptive Retry-After ----------------------------------------------------
+
+
+class TestAdaptiveRetryAfter:
+    def test_hint_scales_with_observed_latency_and_depth(
+        self, tmp_path, library
+    ):
+        scheduler = CampaignScheduler(tmp_path, library, retry_after_s=1.0)
+        # Fresh daemon: the configured floor.
+        assert scheduler._retry_after_hint() == 1.0
+        for _ in range(5):
+            scheduler._latency.record(2.0)
+        scheduler._active = 3
+        # Median shard latency (2s) x in-flight depth (3).
+        assert scheduler._retry_after_hint() == 6.0
+        scheduler._active = 0
+
+    def test_shard_latency_histogram_recorded(self, tmp_path, library):
+        with ServiceThread(
+            tmp_path, library=library, checkpoint_every=1,
+        ) as handle:
+            client = ServiceClient("127.0.0.1", handle.port)
+            client.submit(dict(SPEC, job_id="timed"))
+            client.wait_verdict("timed", timeout_s=120)
+            metrics = client.metrics_text()
+        assert "repro_service_shard_seconds" in metrics
