@@ -40,8 +40,14 @@ def test_ablation_prioritization_and_preheat(benchmark, catalog, library):
 
     def measure():
         cpu = catalog["MIX1"]
-        framework = TestFramework(library)
+        # All plan executions ride the struct-of-arrays batch engine;
+        # the scalar runner stays the oracle via the spot-checks below.
+        framework = TestFramework(library, engine="batch")
         known = framework.known_failing_settings(cpu, generous_duration_s=1200.0)
+        # Spot-check: batch ground truth == scalar ground truth.
+        assert known == TestFramework(library).known_failing_settings(
+            cpu, generous_duration_s=1200.0
+        )
 
         farron_covs = []
         no_priority_covs = []
@@ -50,7 +56,8 @@ def test_ablation_prioritization_and_preheat(benchmark, catalog, library):
             # Full Farron.
             farron = coverage_experiment(
                 cpu, library, "farron", known=known,
-                framework=TestFramework(library, seed=seed), seed=seed,
+                framework=TestFramework(library, seed=seed, engine="batch"),
+                seed=seed,
             )
             farron_covs.append(farron.coverage)
 
@@ -58,18 +65,26 @@ def test_ablation_prioritization_and_preheat(benchmark, catalog, library):
             no_priority_plan = _farron_like_equal_budget_plan(
                 library, farron.round_duration_s
             )
-            report = TestFramework(library, seed=seed).execute(
+            report = TestFramework(library, seed=seed, engine="batch").execute(
                 no_priority_plan, cpu
             )
+            if seed == SEEDS[0]:
+                # Spot-check: bit-identical records on the scalar path.
+                scalar = TestFramework(library, seed=seed).execute(
+                    no_priority_plan, cpu
+                )
+                assert report.store.records == scalar.store.records
+                assert report.failed_settings() == scalar.failed_settings()
             no_priority_covs.append(
                 len(report.failed_settings() & known) / len(known)
             )
 
             # No burn-in: the same Farron plan but starting cold.
             farron_obj = Farron(
-                library, framework=TestFramework(library, seed=seed)
+                library,
+                framework=TestFramework(library, seed=seed, engine="batch"),
             )
-            pre = TestFramework(library, seed=seed).execute(
+            pre = TestFramework(library, seed=seed, engine="batch").execute(
                 TestFramework(library).equal_allocation_plan(600.0), cpu
             )
             farron_obj.pool.add(cpu)
@@ -81,7 +96,9 @@ def test_ablation_prioritization_and_preheat(benchmark, catalog, library):
                 cpu.processor_id, boundary_c
             )
             plan.preheat_to_c = None  # ablate the burn-in
-            cold_report = TestFramework(library, seed=seed).execute(plan, cpu)
+            cold_report = TestFramework(
+                library, seed=seed, engine="batch"
+            ).execute(plan, cpu)
             cold_covs.append(
                 len(cold_report.failed_settings() & known) / len(known)
             )

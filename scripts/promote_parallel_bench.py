@@ -18,9 +18,13 @@ measured somewhere that can actually speak to scaling:
   runner (never replace a good measurement with a worse one).
 
 The same gates generalize to any benchmark whose report carries
-``parity``, ``scaling_curve`` and ``environment.effective_cores``:
-pass ``--benchmark-name bench_perf_service`` to promote the service
-throughput curve into ``BENCH_service.json``.
+``parity`` and ``environment.effective_cores``: reports with a
+``scaling_curve`` compare by their 4-worker efficiency (pass
+``--benchmark-name bench_perf_service`` to promote the service
+throughput curve into ``BENCH_service.json``); flat reports compare by
+their ``speedup`` field (``--benchmark-name bench_perf_toolchain``
+promotes the batch-screening measurement into
+``BENCH_toolchain.json``).
 
 Exit codes: 0 promoted or cleanly skipped, 1 candidate rejected.
 """
@@ -29,6 +33,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Tuple
 
 REPO = Path(__file__).resolve().parents[1]
 
@@ -43,6 +48,18 @@ def _multi_core_efficiency(report: dict, workers: int = 4) -> float:
         if point.get("workers") == workers:
             return float(point.get("efficiency", 0.0))
     return 0.0
+
+
+def _merit(report: dict) -> Tuple[float, str]:
+    """The promotion figure of merit for a report.
+
+    Scaling reports compare by their 4-worker efficiency; flat reports
+    (no ``scaling_curve``, e.g. the batch-screening bench) compare by
+    their plain ``speedup`` field.
+    """
+    if "scaling_curve" in report:
+        return _multi_core_efficiency(report), "4-worker efficiency"
+    return float(report.get("speedup", 0.0)), "speedup"
 
 
 def promote(
@@ -73,9 +90,9 @@ def promote(
             f"{candidate.get('benchmark')!r}"
         )
         return 1
-    candidate_eff = _multi_core_efficiency(candidate)
+    candidate_eff, merit_name = _merit(candidate)
     if candidate_eff <= 0.0:
-        log("reject: candidate curve has no 4-worker datapoint")
+        log(f"reject: candidate has no usable {merit_name}")
         return 1
     try:
         committed = json.loads(committed_path.read_text())
@@ -84,16 +101,16 @@ def promote(
     committed_cores = int(
         committed.get("environment", {}).get("effective_cores", 0)
     )
-    committed_eff = _multi_core_efficiency(committed)
+    committed_eff, _ = _merit(committed)
     if committed_cores >= min_cores and committed_eff >= candidate_eff:
         log(
             f"skip: committed artifact already holds a >= {min_cores}-core "
-            f"measurement at efficiency {committed_eff:.2f} "
+            f"measurement at {merit_name} {committed_eff:.2f} "
             f"(candidate {candidate_eff:.2f})"
         )
         return 0
     log(
-        f"promoting: {cores}-core measurement, 4-worker efficiency "
+        f"promoting: {cores}-core measurement, {merit_name} "
         f"{candidate_eff:.2f} (was {committed_cores}-core, "
         f"{committed_eff:.2f})"
     )

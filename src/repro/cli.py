@@ -124,7 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         "test", parents=[obs],
         help="run the toolchain against a catalog CPU",
     )
-    test.add_argument("cpu", help="catalog name, e.g. MIX1")
+    test.add_argument(
+        "cpu", nargs="+",
+        help="catalog name(s), e.g. MIX1 COMP3; several CPUs screen "
+             "as one batch under --engine batch",
+    )
     test.add_argument(
         "--duration", type=float, default=60.0,
         help="seconds per testcase (default 60, the baseline's allocation)",
@@ -132,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     test.add_argument(
         "--preheat", type=float, default=None,
         help="burn-in target temperature in °C (default: start at idle)",
+    )
+    test.add_argument(
+        "--engine", choices=("scalar", "batch"), default="scalar",
+        help="screening engine; batch runs all CPUs in lockstep on the "
+             "vectorized engine, bit-identical to scalar",
     )
 
     protect = sub.add_parser(
@@ -392,21 +401,22 @@ def _cmd_test(args, obs=None) -> int:
     from .testing import TestFramework, build_library
 
     library = build_library()
-    framework = TestFramework(library)
+    framework = TestFramework(library, engine=args.engine)
     try:
-        processor = catalog_processor(args.cpu)
+        processors = [catalog_processor(name) for name in args.cpu]
     except ReproError as error:
         logger.error("error: %s", error)
         return 2
     plan = framework.equal_allocation_plan(args.duration)
     plan.preheat_to_c = args.preheat
-    report = framework.execute(plan, processor)
-    hours = report.total_duration_s / 3600.0
-    print(f"{processor.processor_id}: one round at {args.duration:.0f} s per "
-          f"testcase ({hours:.2f} h total)")
-    print(f"  detected: {report.detected}")
-    print(f"  failing testcases: {len(report.failed_testcase_ids)}")
-    print(f"  SDC records: {report.error_count}")
+    reports = framework.execute_batch(plan, processors, obs=obs)
+    for processor, report in zip(processors, reports):
+        hours = report.total_duration_s / 3600.0
+        print(f"{processor.processor_id}: one round at {args.duration:.0f} s "
+              f"per testcase ({hours:.2f} h total)")
+        print(f"  detected: {report.detected}")
+        print(f"  failing testcases: {len(report.failed_testcase_ids)}")
+        print(f"  SDC records: {report.error_count}")
     return 0
 
 

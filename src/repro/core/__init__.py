@@ -18,6 +18,7 @@ from .evaluation import (
     OnlineSimulationResult,
     OverheadResult,
     coverage_experiment,
+    coverage_experiment_group,
     coverage_sweep,
     overhead_experiment,
     simulate_online,
@@ -48,6 +49,7 @@ __all__ = [
     "OnlineSimulationResult",
     "OverheadResult",
     "coverage_experiment",
+    "coverage_experiment_group",
     "coverage_sweep",
     "overhead_experiment",
     "simulate_online",

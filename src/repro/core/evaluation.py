@@ -40,6 +40,7 @@ __all__ = [
     "OnlineSimulationResult",
     "OverheadResult",
     "coverage_experiment",
+    "coverage_experiment_group",
     "coverage_sweep",
     "simulate_online",
     "overhead_experiment",
@@ -165,6 +166,112 @@ def coverage_experiment(
     )
 
 
+def coverage_experiment_group(
+    processors: List[Processor],
+    library: TestcaseLibrary,
+    strategy: str,
+    app_features: Optional[Set[Feature]] = None,
+    seeds: Optional[List[int]] = None,
+    obs=None,
+) -> List[CoverageResult]:
+    """:func:`coverage_experiment` for a group, phase-batched.
+
+    Bit-identical to calling :func:`coverage_experiment` per processor
+    with the matching seed: every ``framework.execute`` inside the
+    scalar experiment starts a fresh runner — fresh substream position,
+    idle-equilibrium thermal state — so each phase (ground truth,
+    pre-production seeding, the measured regular round) batches across
+    the whole group with no cross-lane coupling.  Heterogeneous phases
+    (per-processor candidate plans, Farron's prioritized plans) run in
+    lockstep on the batch engine.
+    """
+    if strategy not in ("baseline", "farron"):
+        raise ConfigurationError(f"unknown strategy {strategy!r}")
+    from ..testing.batch import screen_plans
+    from ..testing.framework import TestFramework as _TF
+
+    n = len(processors)
+    seeds = [0] * n if seeds is None else list(seeds)
+    if len(seeds) != n:
+        raise ConfigurationError(f"got {len(seeds)} seeds for {n} processors")
+    frameworks = [
+        _TF(library, seed=seed) for seed in seeds
+    ]
+    with span(
+        obs, "coverage.group", lanes=n, strategy=strategy, mode="batch"
+    ):
+        # Ground truth: per-processor generous candidate plans.
+        known_plans = [
+            fw.known_failing_plan(processor)
+            for fw, processor in zip(frameworks, processors)
+        ]
+        known = [
+            report.failed_settings()
+            for report in screen_plans(
+                processors, known_plans, library, seed=seeds, obs=obs
+            )
+        ]
+        if strategy == "baseline":
+            per_testcase_s = AlibabaBaseline(library).config.per_testcase_s
+            plans = [
+                fw.equal_allocation_plan(per_testcase_s) for fw in frameworks
+            ]
+            reports = screen_plans(
+                processors, plans, library, seed=seeds, obs=obs
+            )
+            return [
+                CoverageResult(
+                    processor_id=processor.processor_id,
+                    strategy="baseline",
+                    known_settings=len(known[i]),
+                    detected_settings=len(
+                        reports[i].failed_settings() & known[i]
+                    ),
+                    round_duration_s=reports[i].total_duration_s,
+                )
+                for i, processor in enumerate(processors)
+            ]
+        # Farron: a pre-production round seeds each processor's
+        # priorities, then the measured regular round runs the
+        # scheduler's prioritized plan.
+        farrons = [Farron(library, framework=fw) for fw in frameworks]
+        pre_plans = [
+            fw.equal_allocation_plan(
+                farron.config.pre_production_per_testcase_s
+            )
+            for fw, farron in zip(frameworks, farrons)
+        ]
+        pre_reports = screen_plans(
+            processors, pre_plans, library, seed=seeds, obs=obs
+        )
+        regular_plans = []
+        for i, processor in enumerate(processors):
+            farron = farrons[i]
+            farron.pool.add(processor)
+            farron.priorities.record_processor_detections(
+                processor.processor_id, pre_reports[i].failed_testcase_ids
+            )
+            boundary = farron.boundary_for(processor.processor_id)
+            regular_plans.append(
+                farron.scheduler.regular_plan(
+                    processor.processor_id, boundary.boundary_c, app_features
+                )
+            )
+        reports = screen_plans(
+            processors, regular_plans, library, seed=seeds, obs=obs
+        )
+    return [
+        CoverageResult(
+            processor_id=processor.processor_id,
+            strategy="farron",
+            known_settings=len(known[i]),
+            detected_settings=len(reports[i].failed_settings() & known[i]),
+            round_duration_s=reports[i].total_duration_s,
+        )
+        for i, processor in enumerate(processors)
+    ]
+
+
 # Per-worker context for coverage_sweep: the library and app features
 # are shipped once per worker process (initializer), not once per task.
 _SWEEP_CONTEXT: Dict[str, object] = {}
@@ -186,6 +293,17 @@ def _coverage_sweep_task(task) -> CoverageResult:
     )
 
 
+def _coverage_sweep_group_task(task) -> List[CoverageResult]:
+    processors, strategy, seeds = task
+    return coverage_experiment_group(
+        list(processors),
+        _SWEEP_CONTEXT["library"],
+        strategy,
+        app_features=_SWEEP_CONTEXT["app_features"],
+        seeds=list(seeds),
+    )
+
+
 def coverage_sweep(
     processors: List[Processor],
     library: TestcaseLibrary,
@@ -197,6 +315,8 @@ def coverage_sweep(
     timeout_s: Optional[float] = None,
     health=None,
     obs=None,
+    engine: str = "scalar",
+    group_size: int = 16,
 ) -> List[CoverageResult]:
     """Figure 11 across many processors, process-parallel and supervised.
 
@@ -209,11 +329,53 @@ def coverage_sweep(
     :func:`repro.perf.parallel.deterministic_map`) never changes
     results either; a sweep item that keeps failing surfaces as
     :class:`~repro.errors.TransientWorkerError` naming the processor.
+
+    ``engine="batch"`` groups ``group_size`` processors per worker
+    task and runs each group's experiment phases on the batched
+    screening engine (:func:`coverage_experiment_group`); per-processor
+    seeds are derived exactly as in the scalar sweep, so results stay
+    bit-identical — grouping and batching only change wall-clock time.
+    The scalar path (one processor per task) is unchanged.
     """
     if strategy not in ("baseline", "farron"):
         # Fail fast in the parent: otherwise every worker task fails
         # one by one, each burning its whole retry budget.
         raise ConfigurationError(f"unknown strategy {strategy!r}")
+    if engine not in ("scalar", "batch"):
+        raise ConfigurationError(
+            f"engine must be 'scalar' or 'batch', got {engine!r}"
+        )
+    if group_size <= 0:
+        raise ConfigurationError("group_size must be positive")
+    # Imported here, not at module top: repro.perf.parallel pulls in
+    # repro.core.backoff, so a top-level import would be circular when
+    # the perf layer loads first (e.g. via repro.fleet.parallel).
+    from ..perf.parallel import deterministic_map
+
+    if engine == "batch":
+        group_tasks = []
+        for start in range(0, len(processors), group_size):
+            group = processors[start:start + group_size]
+            group_tasks.append((
+                group,
+                strategy,
+                [
+                    derive_seed(seed, "coverage-sweep", p.processor_id)
+                    for p in group
+                ],
+            ))
+        grouped = deterministic_map(
+            _coverage_sweep_group_task,
+            group_tasks,
+            workers=workers,
+            initializer=_coverage_sweep_init,
+            initargs=(library, app_features),
+            retries=retries,
+            timeout_s=timeout_s,
+            health=health,
+            obs=obs,
+        )
+        return [result for group in grouped for result in group]
     tasks = [
         (
             processor,
@@ -222,11 +384,6 @@ def coverage_sweep(
         )
         for processor in processors
     ]
-    # Imported here, not at module top: repro.perf.parallel pulls in
-    # repro.core.backoff, so a top-level import would be circular when
-    # the perf layer loads first (e.g. via repro.fleet.parallel).
-    from ..perf.parallel import deterministic_map
-
     return deterministic_map(
         _coverage_sweep_task,
         tasks,

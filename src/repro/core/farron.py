@@ -143,6 +143,44 @@ class Farron:
         status, masked = self._handle_suspected(entry, report)
         return RoundOutcome(processor.processor_id, report, status, masked)
 
+    def pre_production_test_many(
+        self, processors: List[Processor]
+    ) -> List[RoundOutcome]:
+        """:meth:`pre_production_test` for a delivery batch.
+
+        The adequate-resource rounds execute as one group on the
+        framework's engine — with ``engine="batch"`` every processor's
+        burn-in and plan run simultaneously — then the pool/priority
+        bookkeeping and any suspected-state handling apply in input
+        order.  Bit-identical to looping :meth:`pre_production_test`:
+        each round draws from its own processor substream and the
+        targeted follow-up rounds start fresh runners of their own.
+        """
+        entries = [self.pool.add(processor) for processor in processors]
+        plan = self.framework.equal_allocation_plan(
+            self.config.pre_production_per_testcase_s
+        )
+        plan.preheat_to_c = self.config.pre_production_preheat_c
+        reports = self.framework.execute_batch(plan, processors)
+        outcomes = []
+        for processor, entry, report in zip(processors, entries, reports):
+            self._record_round("pre_production", report)
+            if not report.detected:
+                outcomes.append(
+                    RoundOutcome(
+                        processor.processor_id, report, ProcessorStatus.ONLINE
+                    )
+                )
+                continue
+            self.priorities.record_processor_detections(
+                processor.processor_id, report.failed_testcase_ids
+            )
+            status, masked = self._handle_suspected(entry, report)
+            outcomes.append(
+                RoundOutcome(processor.processor_id, report, status, masked)
+            )
+        return outcomes
+
     # -- online regular testing -------------------------------------------------
 
     def regular_test(

@@ -34,7 +34,7 @@ from ..rng import substream
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cpu.defects import Defect
 
-__all__ = ["TriggerModel", "SettingBehaviour"]
+__all__ = ["TriggerModel", "SettingBehaviour", "CompiledSetting"]
 
 #: Usage (defective-instruction executions per second) at which
 #: ``log10_freq_at_tmin`` is calibrated.  A tight instruction loop in
@@ -71,6 +71,51 @@ class SettingBehaviour:
     log10_freq_at_tmin: float
     temp_slope: float
     stress_exponent: float
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledSetting:
+    """One (defect, testcase, core) setting with the law pre-resolved.
+
+    Both toolchain engines sit in a per-window loop where the only
+    live variable of :meth:`TriggerModel.sample_errors` is the core
+    temperature (and the window length); everything else — the memoized
+    behaviour lookup, the core multiplier, the usage-stress power — is
+    fixed for the whole testcase run.  Compiling hoists that setup out
+    of the loop while keeping the remaining float operations in exactly
+    the order ``occurrence_frequency`` performs them, so a compiled
+    setting consumes the same RNG draws and produces the same counts
+    bit for bit.  ``stress`` and ``multiplier`` stay separate factors
+    (not pre-merged) because the law multiplies left to right:
+    ``((10**log10_freq) * stress) * multiplier``.
+    """
+
+    tmin_c: float
+    log10_freq_at_tmin: float
+    temp_slope: float
+    stress: float
+    multiplier: float
+    ramp_cap_c: float
+    max_freq_per_min: float
+
+    def expected_errors(self, temperature_c: float, duration_s: float) -> float:
+        """Poisson mean over an interval; 0.0 below ``tmin_c``."""
+        if temperature_c < self.tmin_c:
+            return 0.0
+        ramp = min(temperature_c - self.tmin_c, self.ramp_cap_c)
+        log10_freq = self.log10_freq_at_tmin + self.temp_slope * ramp
+        freq = (10.0**log10_freq) * self.stress * self.multiplier
+        return min(freq, self.max_freq_per_min) * duration_s / 60.0
+
+    def sample_errors(
+        self, temperature_c: float, duration_s: float, rng: np.random.Generator
+    ) -> int:
+        """Sample an SDC count; draws from ``rng`` only when the mean
+        is positive, like :meth:`TriggerModel.sample_errors`."""
+        mean = self.expected_errors(temperature_c, duration_s)
+        if mean <= 0.0:
+            return 0
+        return int(rng.poisson(mean))
 
 
 class TriggerModel:
@@ -126,6 +171,38 @@ class TriggerModel:
         )
         self._behaviour_cache[cache_key] = resolved
         return resolved
+
+    def compile_setting(
+        self,
+        defect: "Defect",
+        setting_key: str,
+        usage_per_s: float,
+        pcore_id: int,
+    ) -> "CompiledSetting | None":
+        """Pre-resolve the law for one (defect, testcase, core) setting.
+
+        Returns ``None`` when the setting can never trigger at *any*
+        temperature — zero core multiplier or usage below the stress
+        floor, exactly the conditions under which
+        :meth:`occurrence_frequency` returns 0.0 before resolving the
+        behaviour.  Such settings never touch the runner's RNG, so a
+        caller may drop them from its sampling loop without changing
+        any draw.
+        """
+        multiplier = defect.core_multiplier(pcore_id)
+        if multiplier == 0.0 or usage_per_s < self.usage_floor:
+            return None
+        behaviour = self.behaviour(defect, setting_key)
+        stress = (usage_per_s / self.reference_usage) ** behaviour.stress_exponent
+        return CompiledSetting(
+            tmin_c=behaviour.tmin_c,
+            log10_freq_at_tmin=behaviour.log10_freq_at_tmin,
+            temp_slope=behaviour.temp_slope,
+            stress=stress,
+            multiplier=multiplier,
+            ramp_cap_c=self.ramp_cap_c,
+            max_freq_per_min=self.max_freq_per_min,
+        )
 
     # -- the law ------------------------------------------------------------
 

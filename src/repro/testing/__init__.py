@@ -11,6 +11,7 @@ from .alttoolchain import ALT_TOOLCHAIN_SIZE, build_open_library
 from .records import ConsistencyRecord, RecordStore, SDCRecord, SettingKey
 from .runner import HEAT_THROTTLE, TestcaseRun, ToolchainRunner
 from .framework import PlanEntry, TestFramework, TestPlan, ToolchainReport
+from .batch import BatchScreeningEngine, screen_plans, screening_record_frame
 from .multithread import (
     CoherenceTestResult,
     TxMemTestResult,
@@ -39,6 +40,9 @@ __all__ = [
     "TestFramework",
     "TestPlan",
     "ToolchainReport",
+    "BatchScreeningEngine",
+    "screen_plans",
+    "screening_record_frame",
     "CoherenceTestResult",
     "TxMemTestResult",
     "run_coherence_test",

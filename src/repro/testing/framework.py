@@ -101,11 +101,22 @@ class TestFramework:
         trigger_model: Optional[TriggerModel] = None,
         seed: int = 0,
         heat_scale: float = 1.0,
+        engine: str = "scalar",
     ):
+        if engine not in ("scalar", "batch"):
+            raise ConfigurationError(
+                f"engine must be 'scalar' or 'batch', got {engine!r}"
+            )
         self.library = library
         self.trigger = trigger_model or TriggerModel()
         self.seed = seed
         self.heat_scale = heat_scale
+        #: ``"scalar"`` runs plans one processor at a time on
+        #: :class:`ToolchainRunner` (the oracle); ``"batch"`` routes
+        #: single-processor :meth:`execute` calls and every
+        #: :meth:`execute_batch` group through the struct-of-arrays
+        #: screening engine — bit-identical results either way.
+        self.engine = engine
 
     # -- plan construction ---------------------------------------------------
 
@@ -144,6 +155,8 @@ class TestFramework:
         order and prior heat matter (Observation 10).
         """
         if runner is None:
+            if self.engine == "batch":
+                return self.execute_batch(plan, [processor])[0]
             runner = self.runner_for(processor)
         report = ToolchainReport(processor_id=processor.processor_id)
         if plan.preheat_to_c is not None:
@@ -164,6 +177,67 @@ class TestFramework:
             report.total_duration_s += entry.duration_s
         return report
 
+    def execute_batch(
+        self,
+        plans,
+        processors: Sequence[Processor],
+        obs=None,
+    ) -> List[ToolchainReport]:
+        """Run one plan per processor (or a shared plan) as one group.
+
+        With ``engine="batch"`` the whole group executes on the
+        struct-of-arrays screening engine; with ``engine="scalar"`` it
+        is a plain loop over :meth:`execute`.  Both orders are
+        bit-identical — each processor draws from its own substream,
+        so grouping is free.
+        """
+        if isinstance(plans, TestPlan):
+            plans = [plans] * len(processors)
+        else:
+            plans = list(plans)
+            if len(plans) != len(processors):
+                raise ConfigurationError(
+                    f"got {len(plans)} plans for {len(processors)} processors"
+                )
+        if self.engine == "scalar":
+            return [
+                self.execute(plan, processor, runner=self.runner_for(processor))
+                for plan, processor in zip(plans, processors)
+            ]
+        from .batch import screen_plans
+
+        return screen_plans(
+            processors,
+            plans,
+            self.library,
+            trigger_model=self.trigger,
+            seed=self.seed,
+            heat_scale=self.heat_scale,
+            obs=obs,
+        )
+
+    def known_failing_plan(
+        self,
+        processor: Processor,
+        generous_duration_s: float = 1800.0,
+        preheat_to_c: float = 88.0,
+    ) -> TestPlan:
+        """The generous ground-truth plan behind
+        :meth:`known_failing_settings`: every testcase that
+        structurally matches one of the processor's defects, run long
+        and hot."""
+        runner = self.runner_for(processor)
+        candidates = [
+            tc for tc in self.library if runner.can_ever_fail(tc)
+        ]
+        return TestPlan(
+            entries=[
+                PlanEntry(tc.testcase_id, generous_duration_s)
+                for tc in candidates
+            ],
+            preheat_to_c=preheat_to_c,
+        )
+
     def known_failing_settings(
         self,
         processor: Processor,
@@ -177,16 +251,31 @@ class TestFramework:
         defect is run generously, hot, to see whether it can fail at
         all.
         """
-        runner = self.runner_for(processor)
-        candidates = [
-            tc for tc in self.library if runner.can_ever_fail(tc)
-        ]
-        plan = TestPlan(
-            entries=[
-                PlanEntry(tc.testcase_id, generous_duration_s)
-                for tc in candidates
-            ],
-            preheat_to_c=preheat_to_c,
+        plan = self.known_failing_plan(
+            processor, generous_duration_s, preheat_to_c
         )
-        report = self.execute(plan, processor, runner=runner)
+        report = self.execute(plan, processor)
         return report.failed_settings()
+
+    def known_failing_settings_many(
+        self,
+        processors: Sequence[Processor],
+        generous_duration_s: float = 1800.0,
+        preheat_to_c: float = 88.0,
+    ) -> List[Set[Tuple[str, str]]]:
+        """:meth:`known_failing_settings` for a whole group at once.
+
+        The candidate plans differ per processor (defect mixes differ);
+        the batch engine runs heterogeneous plans in lockstep, so on
+        ``engine="batch"`` the group screens simultaneously.
+        """
+        plans = [
+            self.known_failing_plan(
+                processor, generous_duration_s, preheat_to_c
+            )
+            for processor in processors
+        ]
+        return [
+            report.failed_settings()
+            for report in self.execute_batch(plans, processors)
+        ]

@@ -70,12 +70,24 @@ class TestcaseRun:
         return len(self.records) + len(self.consistency_records)
 
 
+#: The operand dtype depends only on the instruction's result dtype, so
+#: one small map serves every ISA (materialization bursts hit this on
+#: every record).
+_OPERAND_DTYPE_CACHE: Dict[DataType, DataType] = {}
+
+
 def _operand_dtype(instruction: Instruction) -> DataType:
     """Data type operands are drawn from for a given instruction."""
-    if instruction.dtype.is_float:
-        # Transcendental/extended ops consume doubles.
-        return DataType.FLOAT64 if instruction.dtype is DataType.FLOAT64X else instruction.dtype
-    return instruction.dtype
+    dtype = instruction.dtype
+    cached = _OPERAND_DTYPE_CACHE.get(dtype)
+    if cached is None:
+        if dtype.is_float:
+            # Transcendental/extended ops consume doubles.
+            cached = DataType.FLOAT64 if dtype is DataType.FLOAT64X else dtype
+        else:
+            cached = dtype
+        _OPERAND_DTYPE_CACHE[dtype] = cached
+    return cached
 
 
 class ToolchainRunner:
@@ -102,6 +114,26 @@ class ToolchainRunner:
         self.heat_scale = heat_scale
         self.injector = FaultInjector(processor, self.trigger)
         self._rng = substream(seed, "runner", processor.processor_id)
+        # (masked_cores object, core-id list) — invalidated by identity
+        # when the processor is rebuilt with a different mask.
+        self._default_cores_cache: Optional[Tuple[frozenset, List[int]]] = None
+
+    def default_cores(self) -> List[int]:
+        """Unmasked physical-core ids, cached per mask object.
+
+        ``available_cores`` builds fresh :class:`PhysicalCore` objects
+        on every call; the screening engines ask for the same list once
+        per plan entry, so memoize it.  The cache keys on the identity
+        of ``masked_cores`` — pool operations replace the processor (or
+        its frozenset) rather than mutating it in place.
+        """
+        cache = self._default_cores_cache
+        masked = self.processor.masked_cores
+        if cache is None or cache[0] is not masked:
+            cores = [c.pcore_id for c in self.processor.available_cores()]
+            self._default_cores_cache = (masked, cores)
+            return cores
+        return cache[1]
 
     # -- defect/testcase matching -----------------------------------------
 
@@ -137,6 +169,81 @@ class ToolchainRunner:
             and defect.affects_core(pcore_id)
             and wanted in defect.features
         ]
+
+    def compiled_core_settings(
+        self, testcase: Testcase, cores: Sequence[int]
+    ) -> List[Tuple[int, List[tuple]]]:
+        """Per-core compiled trigger settings for one testcase run.
+
+        This hoists the per-setting work of
+        :meth:`TriggerModel.sample_errors` — behaviour resolution, core
+        multiplier, usage-stress power — out of the window loop.  Per
+        core the order is computation settings then consistency
+        defects, the order :meth:`_collect_interval` samples in.
+        Settings whose law can never fire (``compile_setting`` →
+        ``None``) draw nothing in the uncompiled path either, so
+        dropping them changes no draw.  Each entry is ``(pcore_id,
+        [(compiled, defect, mnemonic-or-None), ...])``; a ``None``
+        mnemonic marks a consistency setting.
+        """
+        # Match defects against the testcase once, not once per core:
+        # `_computation_settings` re-derives the same (defect, mnemonic)
+        # candidates for all 64 cores, and on a full-library sweep most
+        # testcases match nothing at all.  Per core only the
+        # core-affinity filter remains, which preserves the scalar
+        # per-core setting order (a subsequence of the hoisted lists).
+        active = self.processor.active_defects()
+        comp_matches: List[Tuple[Defect, str]] = []
+        cons_matches: List[Defect] = []
+        if testcase.is_consistency:
+            wanted = (
+                Feature.CACHE
+                if testcase.consistency_kind is ConsistencyKind.COHERENCE
+                else Feature.TRX_MEM
+            )
+            cons_matches = [
+                defect
+                for defect in active
+                if defect.is_consistency and wanted in defect.features
+            ]
+        else:
+            for defect in active:
+                if defect.is_consistency:
+                    continue
+                for mnemonic in defect.instructions:
+                    if testcase.uses_instruction(mnemonic):
+                        comp_matches.append((defect, mnemonic))
+        if not comp_matches and not cons_matches:
+            return [(pcore_id, []) for pcore_id in cores]
+        masked = self.processor.masked_cores
+        plan = []
+        for pcore_id in cores:
+            settings: List[tuple] = []
+            if pcore_id not in masked:
+                for defect, mnemonic in comp_matches:
+                    if not defect.affects_core(pcore_id):
+                        continue
+                    compiled = self.trigger.compile_setting(
+                        defect,
+                        testcase.testcase_id,
+                        testcase.usage_per_s(mnemonic),
+                        pcore_id,
+                    )
+                    if compiled is not None:
+                        settings.append((compiled, defect, mnemonic))
+                for defect in cons_matches:
+                    if not defect.affects_core(pcore_id):
+                        continue
+                    compiled = self.trigger.compile_setting(
+                        defect,
+                        testcase.testcase_id,
+                        testcase.consistency_ops_per_s,
+                        pcore_id,
+                    )
+                    if compiled is not None:
+                        settings.append((compiled, defect, None))
+            plan.append((pcore_id, settings))
+        return plan
 
     def can_ever_fail(self, testcase: Testcase) -> bool:
         """Whether any (core, defect) combination matches this testcase."""
@@ -216,7 +323,7 @@ class ToolchainRunner:
                 f"dt_s must be a positive finite step in seconds, got {dt_s!r}"
             )
         if cores is None:
-            cores = [c.pcore_id for c in self.processor.available_cores()]
+            cores = self.default_cores()
         else:
             cores = list(cores)
             masked = [c for c in cores if c in self.processor.masked_cores]
@@ -230,18 +337,45 @@ class ToolchainRunner:
             duration_s=duration_s,
             start_temp_c=self.thermal.package_temp,
         )
+        # Hoisted per-run: trigger-law compilation happens once, not
+        # once per (window, core, setting).  The per-window loop below
+        # then only reads temperatures and samples the compiled laws,
+        # consuming exactly the draws `_collect_interval` would.
+        core_settings = self.compiled_core_settings(testcase, cores)
         elapsed = 0.0
         while elapsed < duration_s - 1e-9:
             step = min(dt_s, duration_s - elapsed)
             self.thermal.step(step, loads)
             elapsed += step
-            for pcore_id in cores:
+            time_s = self.thermal.elapsed_s
+            for pcore_id, settings in core_settings:
                 temp = self.thermal.core_temp(pcore_id)
-                run.max_core_temp_c = max(run.max_core_temp_c, temp)
-                self._collect_interval(
-                    testcase, pcore_id, temp, step,
-                    self.thermal.elapsed_s, run,
-                )
+                if temp > run.max_core_temp_c:
+                    run.max_core_temp_c = temp
+                for compiled, defect, mnemonic in settings:
+                    count = compiled.sample_errors(temp, step, self._rng)
+                    if not count:
+                        continue
+                    if mnemonic is not None:
+                        run.records.extend(
+                            self._materialize_records(
+                                testcase, defect, mnemonic, pcore_id,
+                                count, temp, time_s,
+                            )
+                        )
+                    else:
+                        for _ in range(count):
+                            run.consistency_records.append(
+                                ConsistencyRecord(
+                                    processor_id=self.processor.processor_id,
+                                    testcase_id=testcase.testcase_id,
+                                    pcore_id=pcore_id,
+                                    defect_id=defect.defect_id,
+                                    kind=testcase.consistency_kind.value,
+                                    temperature_c=temp,
+                                    time_s=time_s,
+                                )
+                            )
         run.end_temp_c = self.thermal.package_temp
         if store is not None:
             store.extend(run.records)

@@ -111,6 +111,21 @@ class BatchPackageThermalModel:
         )
         return np.where(self.core_mask, per_core[:, None], 0.0)
 
+    def total_power_rows(self, powers: np.ndarray) -> np.ndarray:
+        """Per-lane package watts: idle power plus the core-by-core sum.
+
+        Scalar ``sum(powers)`` starts from 0 and adds left to right; a
+        padded column adds +0.0, which is exact for the non-negative
+        power rows.  The result depends on ``powers`` alone, so callers
+        whose power rows persist across windows (the screening engine's
+        plan entries) may compute it once and pass it back into
+        :meth:`step_lanewise` unchanged.
+        """
+        total_power = np.zeros(self.n_lanes)
+        for core in range(self.max_cores):
+            total_power = total_power + powers[:, core]
+        return self.params.idle_power_w + total_power
+
     def step(self, dt_s: float, powers: np.ndarray) -> None:
         """Advance every lane ``dt_s`` seconds under ``powers`` watts.
 
@@ -123,13 +138,7 @@ class BatchPackageThermalModel:
             raise ConfigurationError("dt_s must be positive")
         params = self.params
         r_eff = params.r_package * self.cooling_factor
-        # Scalar sum(powers) starts from 0 and adds left to right; a
-        # padded column adds +0.0, which is exact for the non-negative
-        # power rows.
-        total_power = np.zeros(self.n_lanes)
-        for core in range(self.max_cores):
-            total_power = total_power + powers[:, core]
-        total_power = params.idle_power_w + total_power
+        total_power = self.total_power_rows(powers)
         remaining = dt_s
         max_substep = min(params.c_core * params.r_core, 2.0)
         while remaining > 1e-12:
@@ -143,6 +152,62 @@ class BatchPackageThermalModel:
             remaining -= h
             self.substeps += 1
         self.elapsed_s += dt_s
+
+    def step_lanewise(
+        self,
+        dt_lanes: np.ndarray,
+        powers: np.ndarray,
+        total_power: Optional[np.ndarray] = None,
+    ) -> None:
+        """Advance lane ``i`` by ``dt_lanes[i]`` seconds under ``powers``.
+
+        The toolchain screening engine runs heterogeneous plans in
+        lockstep: lanes mid-entry request their own window lengths, and
+        finished lanes request 0.0 and must not move.  Per lane the
+        substep schedule is exactly the scalar model's — the same
+        ``min(remaining, max_substep)`` chunks in the same order —
+        realized lane-parallel by zeroing the finished lanes'
+        ``h``: ``x + dX * 0.0 == x`` exactly for the finite thermal
+        states, so an idle lane's Euler update is the identity while
+        the others keep integrating.
+
+        ``total_power``, when given, must equal
+        ``total_power_rows(powers)`` — a cache the screening engine
+        carries across the many windows a plan entry spans, since the
+        accumulation is a pure function of the unchanged power rows.
+
+        Unlike :meth:`step` this does not advance :attr:`elapsed_s`
+        (the lanes no longer share one clock); the caller tracks
+        per-lane elapsed time itself.
+        """
+        if np.any(dt_lanes < 0.0):
+            raise ConfigurationError("dt_lanes must be non-negative")
+        params = self.params
+        r_eff = params.r_package * self.cooling_factor
+        if total_power is None:
+            total_power = self.total_power_rows(powers)
+        remaining = np.array(dt_lanes, dtype=float)
+        max_substep = min(params.c_core * params.r_core, 2.0)
+        active = remaining > 1e-12
+        # One scratch buffer instead of four temporaries per substep.
+        # Every np.* call below performs the same IEEE-754 operation in
+        # the same order as the allocating expressions it replaces —
+        # `out=` changes where results land, not what they are.
+        scratch = np.empty_like(self.deltas)
+        while active.any():
+            h = np.where(active, np.minimum(remaining, max_substep), 0.0)
+            dT = (
+                total_power - (self.t_package - params.ambient_c) / r_eff
+            ) / params.c_package
+            self.t_package = self.t_package + dT * h
+            np.divide(self.deltas, params.r_core, out=scratch)
+            np.subtract(powers, scratch, out=scratch)
+            np.divide(scratch, params.c_core, out=scratch)
+            np.multiply(scratch, h[:, None], out=scratch)
+            self.deltas += scratch
+            remaining = remaining - h
+            active = remaining > 1e-12
+            self.substeps += 1
 
     # -- readouts -----------------------------------------------------------
 

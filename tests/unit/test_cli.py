@@ -19,9 +19,17 @@ class TestParser:
         args = build_parser().parse_args(
             ["test", "MIX1", "--duration", "30", "--preheat", "70"]
         )
-        assert args.cpu == "MIX1"
+        assert args.cpu == ["MIX1"]
         assert args.duration == 30.0
         assert args.preheat == 70.0
+        assert args.engine == "scalar"
+
+    def test_test_command_multi_cpu_batch(self):
+        args = build_parser().parse_args(
+            ["test", "MIX1", "FPU1", "--engine", "batch"]
+        )
+        assert args.cpu == ["MIX1", "FPU1"]
+        assert args.engine == "batch"
 
     def test_version_exits(self):
         with pytest.raises(SystemExit) as exc:

@@ -138,6 +138,50 @@ class TestGate:
             "--benchmark-name", "bench_perf_service",
         ]) == 0
 
+    def test_flat_speedup_report_promotes_by_speedup(self, tmp_path):
+        """Reports without a scaling_curve (the toolchain bench) gate
+        on their plain speedup field."""
+
+        def flat(cores, speedup):
+            return {
+                "benchmark": "bench_perf_toolchain",
+                "parity": "exact",
+                "speedup": speedup,
+                "environment": {"effective_cores": cores},
+            }
+
+        candidate = tmp_path / "cand.json"
+        committed = tmp_path / "BENCH_toolchain.json"
+        committed.write_text(json.dumps(flat(1, 8.8)))
+        candidate.write_text(json.dumps(flat(8, 9.5)))
+        assert promote_mod.promote(
+            candidate, committed, 4,
+            benchmark_name="bench_perf_toolchain",
+        ) == 0
+        assert json.loads(committed.read_text())["speedup"] == 9.5
+        # A multi-core committed artifact is never replaced by a
+        # slower candidate.
+        candidate.write_text(json.dumps(flat(16, 9.0)))
+        assert promote_mod.promote(
+            candidate, committed, 4,
+            benchmark_name="bench_perf_toolchain",
+        ) == 0
+        assert json.loads(committed.read_text())["speedup"] == 9.5
+
+    def test_flat_report_without_speedup_rejected(self, tmp_path):
+        candidate = tmp_path / "cand.json"
+        committed = tmp_path / "comm.json"
+        candidate.write_text(json.dumps({
+            "benchmark": "bench_perf_toolchain",
+            "parity": "exact",
+            "environment": {"effective_cores": 8},
+        }))
+        committed.write_text("{}")
+        assert promote_mod.promote(
+            candidate, committed, 4,
+            benchmark_name="bench_perf_toolchain",
+        ) == 1
+
     def test_cli_skip_on_this_runner_or_promote(self, tmp_path):
         # End-to-end CLI invocation with defaults pointed at temp files:
         # on any runner this must exit 0 (skip or promote, never crash).
