@@ -44,7 +44,12 @@ import numpy as np
 
 from repro.faults.trigger import TriggerModel
 from repro.fleet import FleetSpec, VectorizedTestPipeline, generate_fleet
-from repro.obs import Observability, logging_setup, read_trace
+from repro.obs import (
+    Observability,
+    check_artifacts,
+    logging_setup,
+    read_trace,
+)
 from repro.testing import build_library
 
 logger = logging.getLogger("repro.bench.perf_obs")
@@ -132,6 +137,16 @@ def run(args: argparse.Namespace) -> dict:
                 else 0
             )
             guard_sites = trace_records + 2 * ranges
+            # The artifacts the enabled run just wrote must pass the
+            # same self-checks `repro obs-report --check` enforces in
+            # CI (CRC seals, span pairing, identity gauges).
+            problems = check_artifacts(
+                metrics_path,
+                trace_path if trace_path.exists() else None,
+            )
+            assert not problems, (
+                f"enabled-run artifacts failed validation: {problems}"
+            )
 
     disabled_keys = [_detection_key(d) for d in disabled_result.detections]
     enabled_keys = [_detection_key(d) for d in enabled_result.detections]

@@ -12,6 +12,13 @@ robustness contract in one pass:
   without crashing the daemon or losing any acknowledged job;
 * the final graceful drain leaves a metrics snapshot that passes
   ``repro obs-report --check``;
+* the ``service_backlog`` health alert fires off the scrape history
+  while admission is saturated and resolves once the queue drains;
+* ``/timeseries`` history survives both SIGKILLs (the restarted
+  incarnation restores the flushed store instead of starting empty);
+* ``repro trace-export`` stitches the rotated trace segments from all
+  three daemon incarnations — torn tails included — into one Chrome
+  trace with spans from at least two pids;
 * the state directory holds no leaked ``*.tmp`` files and the daemon
   leaves no orphaned processes behind.
 
@@ -87,6 +94,12 @@ def start_daemon(
         "--state-dir", str(state_dir),
         "--checkpoint-every", "1",
         "--max-queue", str(max_queue),
+        # Mission-control surface under drill: fast scrapes so alerts
+        # react within the chaos window, rotating stitched trace so the
+        # export below spans every SIGKILLed incarnation.
+        "--scrape-interval", "0.2",
+        "--trace-out", str(state_dir / "trace.jsonl"),
+        "--trace-rotate-bytes", "262144",
     ]
     if core_budget is not None:
         cmd += ["--core-budget", str(core_budget)]
@@ -106,6 +119,17 @@ def wait_ready(state_dir: Path, timeout_s: float = 60.0) -> ServiceClient:
             pass
         time.sleep(0.05)
     raise SystemExit("FAIL: daemon never became ready")
+
+
+def _alert(client: ServiceClient, name: str) -> dict | None:
+    try:
+        doc = client.alerts()
+    except Exception:
+        return None
+    for alert in doc.get("alerts", ()):
+        if alert["name"] == name:
+            return alert
+    return None
 
 
 def expected_result(spec: dict) -> dict:
@@ -162,7 +186,23 @@ def drive(
         if not client.healthz():
             raise SystemExit("FAIL: daemon unhealthy after saturation")
 
+        # The health engine must notice the backlog the saturation
+        # created: service_backlog fires off the scrape history, not a
+        # point-in-time probe, so give the 0.2 s loop a few ticks.
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            backlog = _alert(client, "service_backlog")
+            if backlog is not None and backlog["fired_count"] >= 1:
+                break
+            time.sleep(0.2)
+        else:
+            raise SystemExit(
+                "FAIL: service_backlog alert never fired under saturation"
+            )
+        log("health: service_backlog alert fired under saturation")
+
         # Two SIGKILL + restart rounds mid-campaign.
+        last_restart_wall = None
         for round_index in (1, 2):
             time.sleep(0.3)
             daemon.send_signal(signal.SIGKILL)
@@ -172,6 +212,7 @@ def drive(
                     f"FAIL: expected SIGKILL death, got {daemon.returncode}"
                 )
             log(f"SIGKILL round {round_index}: daemon dead, restarting")
+            last_restart_wall = time.time()
             daemon = start_daemon(
                 state_dir, max_queue, core_budget, parallel_granule
             )
@@ -195,6 +236,35 @@ def drive(
                     f"uninterrupted run"
                 )
         log(f"verdict parity: {len(acked)}/{len(acked)} bit-identical")
+
+        # History must span the last SIGKILL: the restarted incarnation
+        # restores the flushed timeseries.json instead of starting from
+        # an empty store.
+        history = client.timeseries(tier="1s")
+        oldest = min(
+            (points[0][0] for points in history["series"].values()
+             if points),
+            default=None,
+        )
+        if oldest is None or oldest >= last_restart_wall:
+            raise SystemExit(
+                "FAIL: /timeseries history does not predate the last "
+                f"restart (oldest {oldest}, restart {last_restart_wall})"
+            )
+        log("timeseries: scrape history survived both SIGKILLs")
+
+        # The backlog alert must have resolved once the queue drained.
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            backlog = _alert(client, "service_backlog")
+            if backlog is not None and not backlog["firing"]:
+                break
+            time.sleep(0.2)
+        else:
+            raise SystemExit(
+                "FAIL: service_backlog alert still firing after drain"
+            )
+        log("health: service_backlog alert resolved after recovery")
 
         metrics = client.metrics_text()
         for needle in (
@@ -229,6 +299,38 @@ def drive(
     )
     if check.returncode != 0:
         raise SystemExit("FAIL: obs-report --check rejected the snapshot")
+
+    # The rotated trace must export as ONE stitched timeline covering
+    # every incarnation: three daemon processes wrote segments, two of
+    # them died by SIGKILL mid-span, and the export has to survive the
+    # torn tails and keep all pids visible.
+    chrome_out = state_dir / "trace.chrome.json"
+    export = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "trace-export",
+            str(state_dir / "trace.jsonl"), "--out", str(chrome_out),
+        ],
+        env=dict(os.environ, PYTHONPATH=str(REPO / "src")), cwd=REPO,
+    )
+    if export.returncode != 0:
+        raise SystemExit("FAIL: trace-export rejected the chaos trace")
+    events = json.loads(chrome_out.read_text())["traceEvents"]
+    span_pids = {
+        event["pid"] for event in events if event["ph"] in ("X", "B")
+    }
+    if len(span_pids) < 2:
+        raise SystemExit(
+            f"FAIL: stitched trace covers only {len(span_pids)} daemon "
+            f"incarnation(s); expected spans from the killed ones too"
+        )
+    names = {event["name"] for event in events if event["ph"] in ("X", "B")}
+    if "service.job" not in names:
+        raise SystemExit("FAIL: stitched trace lacks service.job spans")
+    log(
+        f"trace-export: {len(events)} events across "
+        f"{len(span_pids)} daemon incarnations"
+    )
+
     leaked = sorted(
         str(path.relative_to(state_dir))
         for path in state_dir.rglob("*.tmp")

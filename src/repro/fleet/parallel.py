@@ -49,7 +49,13 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple
 
 from ..obs.context import Observability, span
-from ..perf.parallel import DeterministicPool, default_workers
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import ListTraceSink, Tracer
+from ..perf.parallel import (
+    DeterministicPool,
+    default_workers,
+    worker_trace_parent,
+)
 from ..testing.library import TestcaseLibrary
 from .pipeline import FleetStudyResult, PipelineConfig
 from .population import FleetPopulation
@@ -72,12 +78,17 @@ _WORKER_OBS = False
 #: a module global so the mapping outlives the initializer call for as
 #: long as the worker process does.
 _WORKER_SHM: Optional[SharedFleetFrame] = None
+#: Whether the parent campaign is *tracing* (not just metering).  When
+#: true, worker tasks open spans parented on the coordinator ref that
+#: rode in with the task and ship their records home for stitching.
+_WORKER_TRACE = False
 
 
 def _worker_init(
-    population, library, config, trigger_model, seed, obs_enabled=False
+    population, library, config, trigger_model, seed,
+    obs_enabled=False, trace_enabled=False,
 ) -> None:
-    global _WORKER_CTX, _WORKER_OBS, _WORKER_SHM
+    global _WORKER_CTX, _WORKER_OBS, _WORKER_SHM, _WORKER_TRACE
     if isinstance(population, SharedFrameHandle):
         # Zero-copy path: the parent shipped a segment name instead of a
         # pickled population; attach and read columns in place.
@@ -90,30 +101,55 @@ def _worker_init(
     # their range metrics accordingly so per-engine totals stay exact.
     _WORKER_CTX.obs_label = "parallel"
     _WORKER_OBS = bool(obs_enabled)
+    _WORKER_TRACE = bool(trace_enabled)
+
+
+def _task_obs() -> Tuple[Observability, Optional[ListTraceSink]]:
+    """A per-task telemetry context (and its trace sink when tracing).
+
+    One fresh registry per task keeps worker merges exact; one fresh
+    in-memory sink per task keeps the shipped record list scoped to
+    exactly this shard.
+    """
+    if not _WORKER_TRACE:
+        return Observability(), None
+    sink = ListTraceSink()
+    return Observability(MetricsRegistry(), Tracer(sink)), sink
+
+
+def _shipment(obs: Observability, sink: Optional[ListTraceSink]) -> dict:
+    """Telemetry a worker task sends back with its result."""
+    return {
+        "metrics": obs.metrics.snapshot(),
+        "trace": sink.records if sink is not None else [],
+    }
 
 
 def _lower_shard(task: Tuple[int, int]):
     """Phase 1: lower faulty CPUs ``[start, stop)`` to their block.
 
-    Returns ``(block, metrics_snapshot_or_None)``.
+    Returns ``(block, telemetry_shipment_or_None)``.
     """
     start, stop = task
     if not _WORKER_OBS:
         return _WORKER_CTX._lower_range(start, stop), None
-    obs = Observability()
+    obs, sink = _task_obs()
     started = time.perf_counter()
-    block = _WORKER_CTX._lower_range(start, stop)
+    with obs.tracer.remote_span(
+        "parallel.lower", worker_trace_parent(), start=start, stop=stop,
+    ):
+        block = _WORKER_CTX._lower_range(start, stop)
     obs.inc("repro_parallel_tasks_total", phase="lower")
     obs.observe(
         "repro_parallel_lower_seconds", time.perf_counter() - started
     )
-    return block, obs.metrics.snapshot()
+    return block, _shipment(obs, sink)
 
 
 def _replay_shard(task):
     """Phase 3: replay one scanned shard from its pinned draw position.
 
-    Returns ``(detections, undetected_ids, metrics_snapshot_or_None)``.
+    Returns ``(detections, undetected_ids, telemetry_shipment_or_None)``.
     """
     start, stop, position, block = task
     engine = _WORKER_CTX
@@ -126,19 +162,23 @@ def _replay_shard(task):
         population_total=engine.population.total,
         arch_counts=dict(engine.population.arch_counts),
     )
-    snapshot = None
+    shipped = None
     if _WORKER_OBS:
-        obs = Observability()
+        obs, sink = _task_obs()
         obs.inc("repro_parallel_tasks_total", phase="replay")
         engine.obs = obs
         try:
-            engine.replay_range(start, stop, shard_result, stream)
+            with obs.tracer.remote_span(
+                "parallel.replay", worker_trace_parent(),
+                start=start, stop=stop, position=position,
+            ):
+                engine.replay_range(start, stop, shard_result, stream)
         finally:
             engine.obs = None
-        snapshot = obs.metrics.snapshot()
+        shipped = _shipment(obs, sink)
     else:
         engine.replay_range(start, stop, shard_result, stream)
-    return shard_result.detections, shard_result.undetected_ids, snapshot
+    return shard_result.detections, shard_result.undetected_ids, shipped
 
 
 class _PoolUnusable(Exception):
@@ -222,7 +262,9 @@ class ParallelTestPipeline:
         # Workers rebuild the engine from the *resolved* config and
         # trigger model, so defaulted and explicit construction pickle
         # the same objects.  The obs flag makes workers record per-task
-        # registries and ship snapshots back with their results.
+        # registries and ship snapshots back with their results; the
+        # trace flag additionally makes them open coordinator-parented
+        # spans and ship the records for stitching.
         self._init_payload = (
             engine.population,
             engine.library,
@@ -230,6 +272,7 @@ class ParallelTestPipeline:
             engine.trigger,
             self._scalar.seed,
             engine.obs is not None,
+            engine.obs is not None and engine.obs.tracer.enabled,
         )
 
     def _shm_payload(self) -> Optional[tuple]:
@@ -418,48 +461,61 @@ class ParallelTestPipeline:
         stream = self._scalar._stream
         schedule = self._vec._schedule()[0]
         obs = self.obs
-        # Worker metric snapshots are *staged* until the whole range
-        # succeeds: if any shard forces the _PoolUnusable fallback, the
-        # partial attempt's telemetry is dropped along with its results
-        # and the serial rerun records the range instead.
+        # Worker telemetry shipments (metric snapshots + trace records)
+        # are *staged* until the whole range succeeds: if any shard
+        # forces the _PoolUnusable fallback, the partial attempt's
+        # telemetry is dropped along with its results and the serial
+        # rerun records the range instead.
         staging: List[dict] = []
+        # The open parallel.run_range span (run_range entered it on
+        # this thread) is the coordinator ref worker lowering spans
+        # parent on.
+        range_ref = obs.tracer.current_ref() if obs is not None else None
         lower_futures = []
         for shard in shards:
-            future = pool.submit(_lower_shard, shard)
+            future = pool.submit(_lower_shard, shard, trace_parent=range_ref)
             if future is None:
                 raise _PoolUnusable("pool unavailable for shard lowering")
             lower_futures.append(future)
         replay_futures = []
         for index, (shard_start, shard_stop) in enumerate(shards):
-            block, snapshot = self._await(
+            block, shipped = self._await(
                 pool, lower_futures[index], shard_start, shard_stop
             )
-            if snapshot is not None:
-                staging.append(snapshot)
+            if shipped is not None:
+                staging.append(shipped)
             position = stream.consumed
             with span(
                 obs, "parallel.scan",
                 shard=index, start=shard_start, stop=shard_stop,
                 position=position,
             ):
+                # Captured while the scan span is open, so each shard's
+                # worker replay hangs under that shard's scan span.
+                scan_ref = (
+                    obs.tracer.current_ref() if obs is not None else None
+                )
                 self._scan(schedule, block, shard_start, shard_stop, stream)
             future = pool.submit(
-                _replay_shard, (shard_start, shard_stop, position, block)
+                _replay_shard, (shard_start, shard_stop, position, block),
+                trace_parent=scan_ref,
             )
             if future is None:
                 raise _PoolUnusable("pool unavailable for shard replay")
             replay_futures.append(future)
         for index, (shard_start, shard_stop) in enumerate(shards):
-            detections, undetected, snapshot = self._await(
+            detections, undetected, shipped = self._await(
                 pool, replay_futures[index], shard_start, shard_stop
             )
-            if snapshot is not None:
-                staging.append(snapshot)
+            if shipped is not None:
+                staging.append(shipped)
             result.detections.extend(detections)
             result.undetected_ids.extend(undetected)
         if obs is not None:
-            for snapshot in staging:
-                obs.metrics.merge(snapshot)
+            for shipped in staging:
+                obs.metrics.merge(shipped["metrics"])
+                for record in shipped["trace"]:
+                    obs.tracer.emit_foreign(record)
             obs.inc(
                 "repro_campaign_shards_total",
                 len(shards), engine="parallel", outcome="ok",

@@ -20,10 +20,13 @@ simulators via a keyword-only ``obs=None`` parameter:
 """
 
 from .context import Observability, observed_sleep, span
+from .export import to_chrome_trace, write_chrome_trace
+from .health import HealthEngine, HealthRule, default_service_rules
 from .logconf import logging_setup
 from .metrics import DEFAULT_BUCKETS, MetricsRegistry, parse_prometheus_text
 from .procmem import current_rss_bytes, peak_rss_bytes, record_memory
 from .report import check_artifacts, load_metrics, render_report
+from .timeseries import DEFAULT_TIERS, MetricsScraper, Tier, TimeSeriesStore
 from .tracing import (
     JsonlTraceSink,
     ListTraceSink,
@@ -31,18 +34,28 @@ from .tracing import (
     Tracer,
     iter_spans,
     read_trace,
+    read_trace_segments,
+    span_key,
+    trace_segment_paths,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_TIERS",
+    "HealthEngine",
+    "HealthRule",
     "JsonlTraceSink",
     "ListTraceSink",
     "MetricsRegistry",
+    "MetricsScraper",
     "NullTracer",
     "Observability",
+    "Tier",
+    "TimeSeriesStore",
     "Tracer",
     "check_artifacts",
     "current_rss_bytes",
+    "default_service_rules",
     "iter_spans",
     "peak_rss_bytes",
     "record_memory",
@@ -51,6 +64,11 @@ __all__ = [
     "observed_sleep",
     "parse_prometheus_text",
     "read_trace",
+    "read_trace_segments",
     "render_report",
     "span",
+    "span_key",
+    "to_chrome_trace",
+    "trace_segment_paths",
+    "write_chrome_trace",
 ]

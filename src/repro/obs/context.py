@@ -71,30 +71,60 @@ class Observability:
         self.metrics_path = (
             Path(metrics_path) if metrics_path is not None else None
         )
+        self._started = time.monotonic()
 
     @classmethod
     def create(
         cls,
         metrics_path: Optional[os.PathLike] = None,
         trace_path: Optional[os.PathLike] = None,
+        trace_rotate_bytes: Optional[int] = None,
     ) -> "Observability":
-        """Build a context from ``--metrics-out`` / ``--trace-out``."""
+        """Build a context from ``--metrics-out`` / ``--trace-out``.
+
+        ``trace_rotate_bytes`` enables size-based sink rotation (see
+        :class:`~repro.obs.tracing.JsonlTraceSink`).
+        """
         tracer = (
-            Tracer(JsonlTraceSink(trace_path))
+            Tracer(JsonlTraceSink(trace_path, max_bytes=trace_rotate_bytes))
             if trace_path is not None
             else NullTracer()
         )
-        return cls(MetricsRegistry(), tracer, metrics_path)
+        obs = cls(MetricsRegistry(), tracer, metrics_path)
+        obs.record_build_info()
+        return obs
 
     @classmethod
     def in_memory(cls) -> "Observability":
-        """Context capturing everything in process memory (tests)."""
+        """Context capturing everything in process memory (tests).
+
+        Deliberately does *not* stamp build info: worker snapshots are
+        merged into the coordinator's registry and tests compare
+        snapshots for exact equality, so ambient gauges stay out of
+        the in-memory flavor.
+        """
         return cls(MetricsRegistry(), Tracer(ListTraceSink()))
+
+    def record_build_info(self) -> None:
+        """Publish the ``repro_build_info{version=...} = 1`` identity
+        gauge (the Prometheus build-info convention)."""
+        # Local import: repro/__init__ is the aggregate package and
+        # importing it at module scope would cycle back through obs.
+        from .. import __version__
+
+        self.set_gauge("repro_build_info", 1.0, version=__version__)
+
+    def record_uptime(self) -> None:
+        """Refresh ``repro_uptime_seconds`` from the context's birth."""
+        self.set_gauge(
+            "repro_uptime_seconds", time.monotonic() - self._started
+        )
 
     def close(self) -> None:
         """Flush the trace sink and write the metrics file, if any."""
         self.tracer.close()
         if self.metrics_path is not None:
+            self.record_uptime()
             self.metrics.save(self.metrics_path)
 
     # -- string-keyed instrument shorthand ----------------------------------
@@ -210,6 +240,25 @@ _HELP = {
         "Bytes appended to the write-ahead journal.",
     "repro_service_drain_seconds":
         "Duration of the last graceful drain, in seconds.",
+    "repro_service_shard_seconds":
+        "Wall-clock seconds per completed service campaign shard.",
+    "repro_service_cores_leased":
+        "Cores currently leased to jobs by the CoreGovernor.",
+    "repro_service_journal_append_seconds":
+        "Wall-clock seconds per journal append, fsync included.",
+    "repro_parallel_lower_seconds":
+        "Wall-clock seconds lowering shards in pool workers.",
+    "repro_build_info":
+        "Constant 1 gauge carrying the library version label.",
+    "repro_uptime_seconds":
+        "Seconds since this process's telemetry context was created.",
+    "repro_obs_scrapes_total":
+        "Daemon metric-scrape ticks executed, by outcome.",
+    "repro_obs_scrape_samples_total":
+        "Samples recorded into the time-series store by the scrape loop.",
+    "ALERTS":
+        "Health-rule firing state, 1 while firing (Prometheus "
+        "alerting convention), by alertname and severity.",
 }
 
 #: Non-default bucket layouts.  Farron round durations are *simulated*
@@ -217,5 +266,12 @@ _HELP = {
 _BUCKETS = {
     "repro_farron_round_sim_seconds": (
         1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, float("inf"),
+    ),
+    # Journal appends are fsync-bound: sub-millisecond on NVMe, tens of
+    # milliseconds on contended spinning disks — default buckets start
+    # far too coarse to alert on.
+    "repro_service_journal_append_seconds": (
+        0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+        1.0, float("inf"),
     ),
 }

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ObservabilityError
 from .metrics import MetricsRegistry, parse_prometheus_text
-from .tracing import iter_spans, read_trace
+from .tracing import iter_spans, read_trace, span_key
 
 __all__ = ["load_metrics", "render_report", "check_artifacts"]
 
@@ -139,10 +139,13 @@ def check_artifacts(
 ) -> List[str]:
     """Strict schema validation for CI; returns a list of violations.
 
-    Metrics: the file must parse under its format's self-checks and
-    contain at least one ``repro_``-prefixed family.  Trace: every line
+    Metrics: the file must parse under its format's self-checks,
+    contain at least one ``repro_``-prefixed family, and carry the
+    standard identity gauges — ``repro_build_info`` (value 1, with a
+    ``version`` label) and ``repro_uptime_seconds``.  Trace: every line
     must pass its CRC (strict mode — no torn-tail tolerance), span
-    begin/end records must pair up, and nesting must be well-formed.
+    begin/end records must pair up per process, and nesting must be
+    well-formed.
     """
     problems: List[str] = []
     if metrics_path is not None:
@@ -167,13 +170,16 @@ def check_artifacts(
                     problems.append(
                         f"metrics: families without TYPE: {sorted(untyped)}"
                     )
+            problems.extend(_check_identity_gauges(registry, parsed))
     if trace_path is not None:
         try:
             records = read_trace(trace_path, strict=True)
         except ObservabilityError as error:
             problems.append(f"trace: {error}")
         else:
-            open_spans: Dict[int, str] = {}
+            # Keyed by (pid, span): stitched traces interleave records
+            # from several processes whose span counters collide.
+            open_spans: Dict[Tuple[int, int], str] = {}
             for index, record in enumerate(records):
                 kind = record.get("kind")
                 if kind not in ("span_begin", "span_end", "event"):
@@ -186,20 +192,59 @@ def check_artifacts(
                         f"trace: record {index} lacks name/ts"
                     )
                 if kind == "span_begin":
-                    open_spans[record["span"]] = record["name"]
+                    open_spans[span_key(record)] = record["name"]
                 elif kind == "span_end":
-                    begun = open_spans.pop(record["span"], None)
+                    key = span_key(record)
+                    begun = open_spans.pop(key, None)
                     if begun is None:
                         problems.append(
-                            f"trace: span_end {record['span']} without begin"
+                            f"trace: span_end {key} without begin"
                         )
                     elif begun != record["name"]:
                         problems.append(
-                            f"trace: span {record['span']} began as "
+                            f"trace: span {key} began as "
                             f"{begun!r}, ended as {record['name']!r}"
                         )
-            for span_id, name in open_spans.items():
+            for key, name in open_spans.items():
                 problems.append(
-                    f"trace: span {span_id} ({name!r}) never ended"
+                    f"trace: span {key} ({name!r}) never ended"
                 )
+    return problems
+
+
+def _check_identity_gauges(registry, parsed) -> List[str]:
+    """Validate the ``repro_build_info`` / ``repro_uptime_seconds``
+    pair in either metrics format."""
+    problems: List[str] = []
+    if parsed is not None:
+        build = parsed.get("repro_build_info")
+        if build is None:
+            problems.append("metrics: repro_build_info family missing")
+        else:
+            samples = build["samples"]
+            if not any(
+                'version="' in key and value == 1.0
+                for key, value in samples.items()
+            ):
+                problems.append(
+                    "metrics: repro_build_info lacks a version label "
+                    "with value 1"
+                )
+        if "repro_uptime_seconds" not in parsed:
+            problems.append("metrics: repro_uptime_seconds family missing")
+        return problems
+    snapshot = registry.snapshot()
+    families = {f["name"]: f for f in snapshot["families"]}
+    build = families.get("repro_build_info")
+    if build is None:
+        problems.append("metrics: repro_build_info family missing")
+    elif (
+        "version" not in build["labelnames"]
+        or not any(row["value"] == 1.0 for row in build["series"])
+    ):
+        problems.append(
+            "metrics: repro_build_info lacks a version label with value 1"
+        )
+    if "repro_uptime_seconds" not in families:
+        problems.append("metrics: repro_uptime_seconds family missing")
     return problems

@@ -16,6 +16,16 @@ rules keep tracing safe to enable on seeded campaigns:
   tolerates a torn final line — the same crash-consistency posture as
   :mod:`repro.resilience.checkpoint`.
 
+Spans stitch across processes and threads.  Every record carries the
+emitting ``pid`` and a small per-tracer thread index ``tid``; span ids
+are only unique *within* a process, so joins key on ``(pid, span)``.
+A parent hands its identity to workers as a ``(pid, span)`` ref
+(:meth:`Tracer.current_ref`); the worker opens a
+:meth:`Tracer.remote_span` carrying ``parent`` + ``parent_pid``, and
+after the work ships its records home the parent replays them through
+:meth:`Tracer.emit_foreign` into its own sink — one trace file, one
+connected job → shard → worker tree.
+
 When telemetry is disabled the campaign code holds no tracer at all
 (``obs is None``); :class:`NullTracer` exists for call sites that want
 an always-valid tracer object, and its span is a shared no-op.
@@ -23,12 +33,15 @@ an always-valid tracer object, and its span is a shared no-op.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import re
+import threading
 import time
 import zlib
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ObservabilityError, TraceCorruptError
 
@@ -40,16 +53,51 @@ __all__ = [
     "JsonlTraceSink",
     "ListTraceSink",
     "read_trace",
+    "read_trace_segments",
+    "trace_segment_paths",
+    "span_key",
+    "iter_spans",
 ]
 
 TRACE_FORMAT = "repro-obs-trace"
 TRACE_VERSION = 1
+
+#: A cross-process span reference: ``(pid, span_id)``.
+SpanRef = Tuple[int, int]
 
 
 def _canonical(record: Dict[str, object]) -> bytes:
     return json.dumps(
         record, sort_keys=True, separators=(",", ":"), allow_nan=False
     ).encode("utf-8")
+
+
+def _segment_path(base: Path, index: int) -> Path:
+    return base.with_name(f"{base.stem}-{index:06d}{base.suffix}")
+
+
+def trace_segment_paths(base: os.PathLike) -> List[Path]:
+    """All trace files rooted at ``base``, oldest first.
+
+    A non-rotating sink writes ``base`` itself; a rotating sink writes
+    numbered siblings (``trace-000001.jsonl``, ...).  Both may coexist
+    after a configuration change, so the bare file (if present) sorts
+    before the numbered segments.
+    """
+    base = Path(base)
+    paths: List[Path] = []
+    if base.exists():
+        paths.append(base)
+    pattern = re.compile(
+        re.escape(base.stem) + r"-(\d{6})" + re.escape(base.suffix) + r"$"
+    )
+    numbered = [
+        (int(match.group(1)), candidate)
+        for candidate in base.parent.glob(f"{base.stem}-*{base.suffix}")
+        if (match := pattern.match(candidate.name))
+    ]
+    paths.extend(path for _, path in sorted(numbered))
+    return paths
 
 
 class JsonlTraceSink:
@@ -60,33 +108,77 @@ class JsonlTraceSink:
     subsequent line is a canonical JSON object whose ``crc32`` field is
     the CRC-32 of the canonical encoding of the record *without* that
     field, so any line can be verified in isolation.
+
+    With ``max_bytes`` set the sink rotates: records go to numbered
+    segments (``trace-000001.jsonl``, ... — the journal's segment
+    convention), a new segment opens whenever the current one reaches
+    the size bound, and numbering continues from whatever segments
+    already exist on disk.  That makes rotation double duty: long
+    daemon runs cannot fill the disk, and a restarted incarnation
+    extends history instead of truncating it (the non-rotating mode
+    opens ``"w"`` and overwrites).
     """
 
-    def __init__(self, path: os.PathLike):
+    def __init__(self, path: os.PathLike, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes < 1024:
+            raise ObservabilityError(
+                f"trace max_bytes must be >= 1024, got {max_bytes}"
+            )
         self.path = Path(path)
+        self.max_bytes = max_bytes
         self._handle = None
+        self._segment_index: Optional[int] = None
+        self._lock = threading.Lock()
+
+    def _open_next(self) -> None:
+        if self.max_bytes is None:
+            target = self.path
+        else:
+            if self._segment_index is None:
+                existing = trace_segment_paths(self.path)
+                last = 0
+                for path in existing:
+                    if path != self.path:
+                        last = max(last, int(path.stem.rsplit("-", 1)[1]))
+                self._segment_index = last + 1
+            else:
+                self._segment_index += 1
+            target = _segment_path(self.path, self._segment_index)
+        try:
+            self._handle = open(target, "w", encoding="utf-8")
+        except OSError as error:
+            raise ObservabilityError(
+                f"cannot open trace file {target}: {error}"
+            ) from error
+        header = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
+        self._handle.write(_canonical(header).decode("utf-8") + "\n")
 
     def emit(self, record: Dict[str, object]) -> None:
-        if self._handle is None:
-            try:
-                self._handle = open(self.path, "w", encoding="utf-8")
-            except OSError as error:
-                raise ObservabilityError(
-                    f"cannot open trace file {self.path}: {error}"
-                ) from error
-            header = {"format": TRACE_FORMAT, "version": TRACE_VERSION}
-            self._handle.write(_canonical(header).decode("utf-8") + "\n")
-        body = _canonical(record)
-        sealed = dict(record)
-        sealed["crc32"] = zlib.crc32(body)
-        self._handle.write(_canonical(sealed).decode("utf-8") + "\n")
+        # Serialized: the daemon's job threads and scrape loop share
+        # one sink, and interleaved writes would tear JSONL lines.
+        with self._lock:
+            if self._handle is None:
+                self._open_next()
+            body = _canonical(record)
+            sealed = dict(record)
+            sealed["crc32"] = zlib.crc32(body)
+            self._handle.write(_canonical(sealed).decode("utf-8") + "\n")
+            if (
+                self.max_bytes is not None
+                and self._handle.tell() >= self.max_bytes
+            ):
+                self._close_handle()
 
-    def close(self) -> None:
+    def _close_handle(self) -> None:
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_handle()
 
 
 class ListTraceSink:
@@ -119,11 +211,11 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._t0 = self._tracer._clock()
-        self._tracer._stack.append(self.span_id)
+        self._tracer._local_stack().append(self.span_id)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        stack = self._tracer._stack
+        stack = self._tracer._local_stack()
         if stack and stack[-1] == self.span_id:
             stack.pop()
         now = self._tracer._clock()
@@ -131,6 +223,8 @@ class _Span:
             "kind": "span_end",
             "name": self.name,
             "span": self.span_id,
+            "pid": self._tracer._pid,
+            "tid": self._tracer._local_tid(),
             "ts": now,
             "dur_s": now - self._t0,
         }
@@ -144,8 +238,10 @@ class Tracer:
     """Emits nested spans and point events to a sink.
 
     Span ids are sequential integers assigned at creation; parentage is
-    tracked with an explicit stack, so nesting/ordering is deterministic
-    for a given call sequence regardless of timing.
+    tracked with a *per-thread* stack (the daemon traces from the
+    asyncio loop and job executor threads concurrently), so nesting is
+    deterministic for a given per-thread call sequence.  Every record
+    carries the process id and a small per-tracer thread index.
     """
 
     def __init__(
@@ -155,25 +251,77 @@ class Tracer:
     ):
         self._sink = sink
         self._clock = clock
-        self._next_id = 1
-        self._stack: List[int] = []
+        self._ids = itertools.count(1)
+        self._tids = itertools.count(0)
+        self._tls = threading.local()
+        self._pid = os.getpid()
+
+    def _local_stack(self) -> List[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _local_tid(self) -> int:
+        tid = getattr(self._tls, "tid", None)
+        if tid is None:
+            tid = self._tls.tid = next(self._tids)
+        return tid
 
     @property
     def enabled(self) -> bool:
         return True
 
+    def current_ref(self) -> Optional[SpanRef]:
+        """``(pid, span_id)`` of the innermost open span on this
+        thread, or None — the handle a parent sends to workers so
+        their spans join this trace."""
+        stack = self._local_stack()
+        if not stack:
+            return None
+        return (self._pid, stack[-1])
+
     def span(self, name: str, **attrs: object) -> _Span:
-        span_id = self._next_id
-        self._next_id += 1
-        parent = self._stack[-1] if self._stack else None
+        parent = self._local_stack()[-1] if self._local_stack() else None
+        return self._begin(name, parent, None, attrs)
+
+    def remote_span(
+        self, name: str, parent_ref: Optional[SpanRef], **attrs: object
+    ) -> _Span:
+        """Open a span whose parent lives in another process.
+
+        ``parent_ref`` is a :meth:`current_ref` tuple from the
+        coordinating process (None degrades to a plain root span).  A
+        locally open span still wins — remote parentage only applies
+        at the top of this thread's stack.
+        """
+        local_parent = (
+            self._local_stack()[-1] if self._local_stack() else None
+        )
+        if local_parent is not None or parent_ref is None:
+            return self._begin(name, local_parent, None, attrs)
+        return self._begin(name, parent_ref[1], parent_ref[0], attrs)
+
+    def _begin(
+        self,
+        name: str,
+        parent: Optional[int],
+        parent_pid: Optional[int],
+        attrs: Dict[str, object],
+    ) -> _Span:
+        span_id = next(self._ids)
         record: Dict[str, object] = {
             "kind": "span_begin",
             "name": name,
             "span": span_id,
+            "pid": self._pid,
+            "tid": self._local_tid(),
             "ts": self._clock(),
         }
         if parent is not None:
             record["parent"] = parent
+        if parent_pid is not None and parent_pid != self._pid:
+            record["parent_pid"] = parent_pid
         if attrs:
             record["attrs"] = attrs
         self._sink.emit(record)
@@ -183,13 +331,28 @@ class Tracer:
         record: Dict[str, object] = {
             "kind": "event",
             "name": name,
+            "pid": self._pid,
+            "tid": self._local_tid(),
             "ts": self._clock(),
         }
-        if self._stack:
-            record["span"] = self._stack[-1]
+        stack = self._local_stack()
+        if stack:
+            record["span"] = stack[-1]
         if attrs:
             record["attrs"] = attrs
         self._sink.emit(record)
+
+    def emit_foreign(self, record: Dict[str, object]) -> None:
+        """Replay a record produced by another process's tracer into
+        this tracer's sink, verbatim.
+
+        Worker tracers collect into a :class:`ListTraceSink`; after a
+        shard succeeds the parent merges those records here so the
+        sealed trace file holds the whole distributed tree.  The
+        record keeps its own ``pid``/``span`` ids — joins are keyed by
+        ``(pid, span)`` so no renumbering is needed.
+        """
+        self._sink.emit(dict(record))
 
     def close(self) -> None:
         self._sink.close()
@@ -219,10 +382,19 @@ class NullTracer:
     def enabled(self) -> bool:
         return False
 
+    def current_ref(self) -> None:
+        return None
+
     def span(self, name: str, **attrs: object) -> _NullSpan:
         return _NULL_SPAN
 
+    def remote_span(self, name: str, parent_ref=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
     def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def emit_foreign(self, record: Dict[str, object]) -> None:
         pass
 
     def close(self) -> None:
@@ -298,25 +470,64 @@ def read_trace(
     return records
 
 
+def read_trace_segments(
+    base: os.PathLike, strict: bool = False
+) -> List[Dict[str, object]]:
+    """Read every segment rooted at ``base`` (see
+    :func:`trace_segment_paths`), concatenated oldest-first.
+
+    Under the default lenient mode a torn tail is tolerated on *every*
+    segment, not just the newest: any segment may have been the final
+    write of a SIGKILLed daemon incarnation whose restart moved on to
+    the next segment number.  Corruption anywhere before a segment's
+    final line still raises — that is damage, not a crash artifact.
+    """
+    paths = trace_segment_paths(base)
+    records: List[Dict[str, object]] = []
+    for path in paths:
+        records.extend(read_trace(path, strict=strict))
+    return records
+
+
+def span_key(record: Dict[str, object]) -> Tuple[int, int]:
+    """The globally unique join key of a span record.
+
+    Span ids are per-process counters; after merging worker records a
+    trace holds colliding ``span`` values, so everything that pairs
+    begins with ends keys on ``(pid, span)``.  Records from before
+    stitching (no ``pid`` field) key under pid 0.
+    """
+    return (int(record.get("pid", 0)), int(record["span"]))
+
+
 def iter_spans(
     records: List[Dict[str, object]]
 ) -> Iterator[Dict[str, object]]:
     """Yield completed spans joined from begin/end records.
 
-    Each yielded dict has ``name``, ``span``, ``parent``, ``dur_s``,
-    ``attrs`` and ``error`` (if any) — used by ``repro obs-report``.
+    Each yielded dict has ``name``, ``span``, ``pid``, ``parent``,
+    ``parent_pid``, ``dur_s``, ``attrs`` and ``error`` (if any) — used
+    by ``repro obs-report`` and ``repro trace-export``.
     """
-    begins: Dict[int, Dict[str, object]] = {}
+    begins: Dict[Tuple[int, int], Dict[str, object]] = {}
     for record in records:
         kind = record.get("kind")
         if kind == "span_begin":
-            begins[record["span"]] = record
+            begins[span_key(record)] = record
         elif kind == "span_end":
-            begin = begins.pop(record["span"], None)
+            begin = begins.pop(span_key(record), None)
+            pid = int(record.get("pid", 0))
+            parent = (begin or {}).get("parent")
             joined: Dict[str, object] = {
                 "name": record["name"],
                 "span": record["span"],
-                "parent": (begin or {}).get("parent"),
+                "pid": pid,
+                "parent": parent,
+                "parent_pid": (
+                    (begin or {}).get("parent_pid", pid)
+                    if parent is not None
+                    else None
+                ),
                 "dur_s": record.get("dur_s", 0.0),
                 "attrs": (begin or {}).get("attrs", {}),
             }

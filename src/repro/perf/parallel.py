@@ -52,7 +52,12 @@ from ..core.backoff import ExponentialBackoff
 from ..errors import TransientWorkerError
 from ..obs.context import observed_sleep
 
-__all__ = ["default_workers", "deterministic_map", "DeterministicPool"]
+__all__ = [
+    "default_workers",
+    "deterministic_map",
+    "DeterministicPool",
+    "worker_trace_parent",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -126,6 +131,38 @@ def _pool_worker_init(initializer, initargs) -> None:
 def _record(health, kind: str, detail: str, item: int | None = None) -> None:
     if health is not None:
         health.record(kind, detail, item=item)
+
+
+#: Trace context of the task currently running in this worker process:
+#: a ``(pid, span)`` ref naming the coordinator span that submitted it,
+#: or None.  Set around the task by :func:`_traced_call`; task functions
+#: read it via :func:`worker_trace_parent` to parent their spans into
+#: the coordinator's trace.
+_WORKER_TRACE_PARENT: Tuple[int, int] | None = None
+
+
+def worker_trace_parent() -> Tuple[int, int] | None:
+    """The submitting coordinator's ``(pid, span)`` trace ref, if the
+    current task was submitted with one (see :meth:`DeterministicPool.
+    submit`); None in serial/degraded execution or untraced runs."""
+    return _WORKER_TRACE_PARENT
+
+
+def _traced_call(payload: Tuple[Tuple[int, int], Callable, Any]) -> Any:
+    """Run a task with its coordinator trace ref published.
+
+    Wrapping the payload — instead of shipping the ref through worker
+    globals at init time — keeps the ref per *task*: each shard carries
+    the span that actually submitted it, so retries and interleaved
+    jobs cannot mis-parent.
+    """
+    global _WORKER_TRACE_PARENT
+    ref, fn, item = payload
+    _WORKER_TRACE_PARENT = (int(ref[0]), int(ref[1]))
+    try:
+        return fn(item)
+    finally:
+        _WORKER_TRACE_PARENT = None
 
 
 def _chunk_runner(payload: Tuple[Callable, int, Sequence]) -> Tuple:
@@ -362,7 +399,13 @@ class DeterministicPool:
 
     # -- mapping ------------------------------------------------------------
 
-    def submit(self, fn: Callable[[_T], _R], item: _T):
+    def submit(
+        self,
+        fn: Callable[[_T], _R],
+        item: _T,
+        *,
+        trace_parent: Tuple[int, int] | None = None,
+    ):
         """Submit one task; a ``Future`` of a chunk outcome, or ``None``.
 
         The streaming primitive under :meth:`map`, for callers that
@@ -374,10 +417,17 @@ class DeterministicPool:
         never raises from inside the task — but waiting on it can still
         raise ``BrokenProcessPool``/``TimeoutError``, which the caller
         must map to :meth:`degrade` + its own fallback.
+
+        ``trace_parent`` (a :meth:`Tracer.current_ref` tuple) rides
+        along with the task and is visible to the task function via
+        :func:`worker_trace_parent`, letting worker-side spans join the
+        coordinator's trace tree.
         """
         pool = self._ensure_pool()
         if pool is None:
             return None
+        if trace_parent is not None:
+            fn, item = _traced_call, (trace_parent, fn, item)
         try:
             return pool.submit(_chunk_runner, (fn, 0, [item]))
         except RuntimeError:

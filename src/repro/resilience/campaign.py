@@ -610,8 +610,11 @@ class ResilientCampaign:
         ):
             while self.step():
                 pass
-            # The campaign is the natural RSS reporting point: sample
-            # once at completion so every run leaves its peak on record.
+            # Final RSS stamp so one-shot CLI runs leave their peak on
+            # record.  This is *not* the memory time series: under the
+            # daemon, the scrape loop samples RSS every interval
+            # (ReproService._scrape_tick), so /timeseries history has
+            # real resolution instead of one point per campaign.
             record_memory(self.obs)
         return self.result
 

@@ -20,6 +20,8 @@ Routes::
     GET  /healthz         liveness (always 200 while the loop runs)
     GET  /readyz          readiness (503 while draining/booting)
     GET  /metrics         Prometheus exposition text
+    GET  /timeseries      scrape history (?name=&tier=&since=)
+    GET  /alerts          health-rule firing state
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+import urllib.parse
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -66,6 +69,8 @@ class HttpRequest:
     path: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Decoded query parameters (last value wins on duplicates).
+    query: Dict[str, str] = field(default_factory=dict)
 
     @property
     def keep_alive(self) -> bool:
@@ -142,9 +147,20 @@ async def read_request(
                 raise RequestError(400, "body shorter than Content-Length")
     elif headers.get("transfer-encoding"):
         raise RequestError(400, "chunked bodies are not supported")
-    # Strip the query string; no route uses one today.
-    path = target.split("?", 1)[0]
-    return HttpRequest(method=method, path=path, headers=headers, body=body)
+    path, _, query_string = target.partition("?")
+    query: Dict[str, str] = {}
+    if query_string:
+        try:
+            query = dict(
+                urllib.parse.parse_qsl(
+                    query_string, keep_blank_values=True, strict_parsing=False
+                )
+            )
+        except (ValueError, UnicodeDecodeError):
+            raise RequestError(400, "malformed query string")
+    return HttpRequest(
+        method=method, path=path, headers=headers, body=body, query=query
+    )
 
 
 def render_response(
@@ -235,7 +251,16 @@ class ServiceApi:
         if path == "/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
-            return 200, _json_body({"status": "ok"}), "application/json", {}
+            # Liveness stays 200 while the loop runs — firing alerts
+            # are *detail*, not a liveness failure (a drifting SDC rate
+            # is precisely when the daemon must keep serving).
+            doc: Dict[str, object] = {"status": "ok"}
+            health = getattr(self.service, "health", None)
+            if health is not None:
+                firing = health.active()
+                if firing:
+                    doc["firing_alerts"] = firing
+            return 200, _json_body(doc), "application/json", {}
         if path == "/readyz":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -256,6 +281,38 @@ class ServiceApi:
             return (
                 200, text.encode("utf-8"),
                 "text/plain; version=0.0.4", {},
+            )
+        if path == "/timeseries":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            query = request.query
+            since: Optional[float] = None
+            if "since" in query:
+                try:
+                    since = float(query["since"])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"since={query['since']!r} is not a number"
+                    )
+            tier = query.get("tier")
+            store = self.service.timeseries
+            if tier is not None and tier not in {
+                t.name for t in store.tiers
+            }:
+                raise ConfigurationError(
+                    f"unknown tier {tier!r} "
+                    f"(have {[t.name for t in store.tiers]})"
+                )
+            doc = self.service.timeseries_doc(
+                prefix=query.get("name"), tier=tier, since=since,
+            )
+            return 200, _json_body(doc), "application/json", {}
+        if path == "/alerts":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return (
+                200, _json_body(self.service.health_doc()),
+                "application/json", {},
             )
         if path == "/submit":
             if method != "POST":

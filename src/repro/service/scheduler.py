@@ -412,6 +412,7 @@ class CampaignScheduler:
         return self._latency.hint(depth)
 
     def _journal_append(self, kind: str, job_id: str, **data) -> int:
+        started = time.perf_counter()
         with self._journal_lock:
             if self._journal is None:
                 raise AdmissionError(
@@ -420,6 +421,13 @@ class CampaignScheduler:
             seq = self._journal.append(kind, job=job_id, **data)
         if self.obs is not None:
             self.obs.inc("repro_service_journal_appends_total", kind=kind)
+            # Unlabeled on purpose: the journal_append_latency health
+            # rule watches the p99 of the whole fsync path, and label
+            # fan-out would split the histogram it alerts on.
+            self.obs.observe(
+                "repro_service_journal_append_seconds",
+                time.perf_counter() - started,
+            )
         return seq
 
     def parse_submission(self, body: Dict[str, object]) -> Dict[str, object]:

@@ -97,7 +97,7 @@ def test_killed_shared_memory_campaign_resumes_without_leaks(
 class _DeadPool:
     """A pool whose submissions never succeed (permanently degraded)."""
 
-    def submit(self, fn, item):
+    def submit(self, fn, item, trace_parent=None):
         return None
 
     def degrade(self, reason):

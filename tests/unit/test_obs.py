@@ -481,7 +481,7 @@ class TestWorkerAggregation:
         """Pool death mid-campaign must not lose or double-count."""
 
         class _DeadPool:
-            def submit(self, fn, item):
+            def submit(self, fn, item, trace_parent=None):
                 return None
 
             def degrade(self, reason):

@@ -97,7 +97,7 @@ class _DeadPool:
     def __init__(self):
         self.reasons = []
 
-    def submit(self, fn, item):
+    def submit(self, fn, item, *, trace_parent=None):
         return None
 
     def degrade(self, reason):
